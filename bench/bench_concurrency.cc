@@ -1,0 +1,119 @@
+// E2 — §8's headline claim: "This increased concurrency is the most
+// important advantage our method has over [Smith '90]."
+//
+// Four user threads run a 70/30 read/write mix while the reorganization
+// executes. The DiskModel's realtime mode stalls every physical page access
+// by a scaled-down 1996 disk latency, so lock-hold windows reflect real I/O
+// (the paper's setting) rather than RAM speeds.
+//
+// Reported per method: reorg duration, user throughput during the reorg,
+// throughput degradation vs the no-reorg baseline, and worst-case user op
+// latency.
+
+#include "bench/bench_util.h"
+#include "src/baseline/smith_reorg.h"
+
+using namespace soreorg;
+using namespace soreorg::bench;
+
+namespace {
+
+constexpr uint64_t kN = 20000;
+constexpr double kRealtimeScale = 0.002;  // 1996 latencies scaled 500x down
+
+struct RunResult {
+  double reorg_secs = 0;
+  double ops_per_sec = 0;
+  uint64_t max_latency_us = 0;
+  uint64_t failures = 0;
+};
+
+RunResult RunUnder(const std::function<Status(Database*)>& reorganize) {
+  MemEnv env;
+  DatabaseOptions options;
+  options.buffer_pool_pages = 96;  // force real page I/O during the run
+  std::unique_ptr<Database> db;
+  Database::Open(&env, options, &db);
+  std::vector<uint64_t> survivors;
+  SparsifyByDeletion(db.get(), kN, 64, 0.95, 0.7, 10, 21, &survivors);
+  db->buffer_pool()->FlushAndSync();
+
+  DiskModel model;
+  model.set_realtime_scale(kRealtimeScale);
+  model.Attach(db->disk_manager());
+
+  DriverOptions dopts;
+  dopts.threads = 4;
+  dopts.key_space = kN;
+  ConcurrentDriver driver(db.get(), dopts);
+  driver.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));  // warm up
+  uint64_t ops_before = driver.stats().ops;
+
+  // Throughput is measured strictly over the reorganization window (the
+  // baseline idles for a fixed window instead).
+  Timer t;
+  Status s = reorganize(db.get());
+  double reorg_secs = t.Seconds();
+  if (reorg_secs < 0.5) {
+    // Baseline (no-op): observe an idle window of the same order.
+    while (t.Seconds() < 2.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    reorg_secs = t.Seconds();
+  }
+  uint64_t ops_during = driver.stats().ops - ops_before;
+  driver.Stop();
+  if (!s.ok()) {
+    std::fprintf(stderr, "reorg status: %s\n", s.ToString().c_str());
+  }
+  Check(db.get(), "E2 run");
+
+  DriverStats st = driver.stats();
+  RunResult r;
+  r.reorg_secs = reorg_secs;
+  r.ops_per_sec = static_cast<double>(ops_during) / reorg_secs;
+  r.max_latency_us = st.max_latency_ns / 1000;
+  r.failures = st.failures;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  Header("E2: user concurrency during reorganization (§8 vs Smith '90)",
+         "the paper's units lock only the leaves being moved (plus the base "
+         "page briefly); Smith '90 X-locks the whole file per block "
+         "operation, shutting users out");
+
+  // Baseline: no reorganization at all, same kind of window.
+  RunResult base = RunUnder([](Database*) { return Status::OK(); });
+
+  RunResult paper = RunUnder([](Database* db) { return db->Reorganize(); });
+
+  RunResult smith = RunUnder([](Database* db) {
+    SmithReorganizer smith(db->tree(), db->buffer_pool(), db->log_manager(),
+                           db->lock_manager(), db->disk_manager(),
+                           db->reorg_table(), db->txn_manager(),
+                           SmithOptions{});
+    return smith.Run();
+  });
+
+  std::printf("%-14s %10s %14s %12s %14s %9s\n", "method", "reorg s",
+              "user ops/s", "vs baseline", "max lat (us)", "failures");
+  auto row = [&](const char* name, const RunResult& r) {
+    std::printf("%-14s %10.2f %14.0f %11.0f%% %14llu %9llu\n", name,
+                r.reorg_secs, r.ops_per_sec,
+                100.0 * r.ops_per_sec / base.ops_per_sec,
+                (unsigned long long)r.max_latency_us,
+                (unsigned long long)r.failures);
+  };
+  row("no reorg", base);
+  row("paper", paper);
+  row("Smith '90", smith);
+
+  std::printf("\nexpected shape: the paper's method keeps user throughput "
+              "near the baseline;\nSmith '90 collapses it (whole-file X "
+              "lock per block operation) and has the\nworst tail latency.\n");
+  return 0;
+}

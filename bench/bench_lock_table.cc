@@ -1,0 +1,105 @@
+// T1 — Table 1 of the paper: the lock compatibility matrix, reproduced from
+// the LIVE lock manager (probed with real lock requests, not just the static
+// table), plus microbenchmarks of the three new-mode code paths.
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/txn/lock_manager.h"
+
+using namespace soreorg;
+
+namespace {
+
+const LockMode kGrantedModes[] = {LockMode::kIS, LockMode::kIX, LockMode::kS,
+                                  LockMode::kX, LockMode::kR, LockMode::kRX};
+const LockMode kRequestedModes[] = {LockMode::kIS, LockMode::kIX,
+                                    LockMode::kS,  LockMode::kX,
+                                    LockMode::kR,  LockMode::kRX,
+                                    LockMode::kRS};
+
+// Probe compatibility with real requests: T1 holds `granted`, T2 requests
+// `requested` with TryLock / a timed instant request.
+const char* Probe(LockMode granted, LockMode requested) {
+  LockManager lm;
+  LockName n = PageLock(1);
+  if (!lm.Lock(100, n, granted).ok()) return "?";
+  Status s;
+  if (requested == LockMode::kRS) {
+    s = lm.LockInstant(200, n, LockMode::kRS, /*timeout_ms=*/20);
+    return s.ok() ? "yes" : "no";
+  }
+  s = lm.TryLock(200, n, requested);
+  if (s.ok()) return "yes";
+  if (s.IsBackoff()) return "no*";  // the RX back-off path, not a queue wait
+  return "no";
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("T1: lock compatibility (Table 1)",
+                "R compatible with S; RX incompatible with everything and "
+                "conflicting requesters back off; RS is instant-duration and "
+                "incompatible with R/X/RX");
+
+  std::printf("%-8s", "granted");
+  for (LockMode req : kRequestedModes) std::printf("%6s", LockModeName(req));
+  std::printf("\n");
+  bool all_match = true;
+  for (LockMode g : kGrantedModes) {
+    std::printf("%-8s", LockModeName(g));
+    for (LockMode req : kRequestedModes) {
+      const char* probed = Probe(g, req);
+      bool probed_yes = probed[0] == 'y';
+      if (probed_yes != LockCompatible(g, req)) all_match = false;
+      std::printf("%6s", probed);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(no* = request rejected via the RX back-off protocol, not "
+              "queued)\nlive probes match the static Table 1: %s\n",
+              all_match ? "YES" : "NO — MISMATCH");
+
+  // Microbenchmarks of the new-mode paths.
+  std::printf("\nlock-path microbenchmarks (1e5 iterations each):\n");
+  auto time_path = [](const char* name, auto&& fn) {
+    const int kIters = 100000;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) fn();
+    double ns = std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count() /
+                kIters;
+    std::printf("  %-34s %8.0f ns/op\n", name, ns);
+  };
+  {
+    LockManager lm;
+    time_path("uncontended S lock+unlock", [&]() {
+      lm.Lock(1, PageLock(7), LockMode::kS);
+      lm.Unlock(1, PageLock(7));
+    });
+  }
+  {
+    LockManager lm;
+    lm.Lock(kReorgTxnId, PageLock(7), LockMode::kRX);
+    time_path("RX-conflict back-off (reader)", [&]() {
+      lm.Lock(2, PageLock(7), LockMode::kS);  // returns kBackoff
+    });
+  }
+  {
+    LockManager lm;
+    time_path("grantable instant-duration RS", [&]() {
+      lm.LockInstant(2, PageLock(8), LockMode::kRS);
+    });
+  }
+  {
+    LockManager lm;
+    time_path("R lock + upgrade to X + release", [&]() {
+      lm.Lock(kReorgTxnId, PageLock(9), LockMode::kR);
+      lm.Lock(kReorgTxnId, PageLock(9), LockMode::kX);
+      lm.Unlock(kReorgTxnId, PageLock(9));
+    });
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E1 — §6.1's claim: "Initial experiments showed that our algorithm can
+// greatly reduce the number of swaps needed at the second pass."
+//
+// The workload matters: a tree sparsified by deletions alone keeps its
+// leaves in disk key order, so pass 2 has nothing to do under any policy.
+// Real degradation mixes deletions with insert churn whose splits allocate
+// new leaves at arbitrary free slots, scrambling the disk order. Pass 1 then
+// either restores relative order as it compacts (the paper's heuristic: the
+// first empty page after L and before C), scatters leaves further
+// (first-fit anywhere), or leaves them scattered (no new-place) — and
+// pass 2 pays for the difference in swaps, the expensive operation (two
+// base pages locked, a full page image logged).
+
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_util.h"
+
+using namespace soreorg;
+using namespace soreorg::bench;
+
+namespace {
+
+double AscFraction(Database* db) {
+  std::vector<PageId> leaves;
+  db->tree()->CollectLeaves(&leaves);
+  if (leaves.size() < 2) return 1.0;
+  size_t asc = 0;
+  for (size_t i = 1; i < leaves.size(); ++i) {
+    if (leaves[i] > leaves[i - 1]) ++asc;
+  }
+  return static_cast<double>(asc) / static_cast<double>(leaves.size() - 1);
+}
+
+}  // namespace
+
+int main() {
+  Header("E1: Find-Free-Space heuristic vs pass-2 swaps (§6.1)",
+         "choosing the first empty page after L and before C \"can greatly "
+         "reduce the number of swaps needed at the second pass\"");
+
+  const uint64_t kN = 50000;
+  std::printf("%-10s %-20s %12s %8s %8s %14s\n", "churn", "policy",
+              "order @ p1", "swaps", "moves", "swap log bytes");
+
+  for (int churn : {1000, 3000, 6000}) {
+    struct Policy {
+      const char* name;
+      FreeSpacePolicy policy;
+    };
+    for (const Policy& p :
+         {Policy{"paper heuristic", FreeSpacePolicy::kPaperHeuristic},
+          Policy{"first-fit anywhere", FreeSpacePolicy::kFirstFitAnywhere},
+          Policy{"no new-place", FreeSpacePolicy::kNone}}) {
+      MemEnv env;
+      DatabaseOptions options;
+      options.reorg.compactor.free_space_policy = p.policy;
+      std::unique_ptr<Database> db;
+      Database::Open(&env, options, &db);
+      std::vector<uint64_t> survivors;
+      AgingOptions aging;
+      aging.n = kN;
+      aging.cluster_delete_frac = 0.35;
+      aging.random_delete_frac = 0.5;
+      aging.churn_inserts = static_cast<uint64_t>(churn);
+      aging.seed = 33;
+      AgeDatabase(db.get(), aging, &survivors);
+
+      // A checkpointer runs alongside pass 1 (as any real system would):
+      // its syncs release the pass's own freed pages back to the free list
+      // mid-pass, which is precisely when an unconstrained policy starts
+      // picking pages BEHIND the finished prefix and ruining the order.
+      std::atomic<bool> stop{false};
+      std::thread checkpointer([&]() {
+        while (!stop.load()) {
+          db->Checkpoint();
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      });
+      db->reorganizer()->RunLeafPass();
+      stop.store(true);
+      checkpointer.join();
+      Check(db.get(), p.name);
+      double order_after_p1 = AscFraction(db.get());
+      uint64_t p1_moves = db->reorganizer()->stats().move_units;
+      db->log_manager()->ResetStats();
+      db->reorganizer()->RunSwapPass();
+      Check(db.get(), p.name);
+      const ReorgStats& rs = db->reorganizer()->stats();
+      std::printf("%-10d %-20s %12.2f %8llu %8llu %14llu\n", churn, p.name,
+                  order_after_p1, (unsigned long long)rs.swap_units,
+                  (unsigned long long)(rs.move_units - p1_moves),
+                  (unsigned long long)db->log_manager()->bytes_for_type(
+                      LogType::kReorgMove));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape: among the new-place policies, the paper heuristic "
+      "needs\nclearly fewer pass-2 swaps (and less swap logging) than naive "
+      "first-fit,\nbecause its constraint E in (L, C) keeps new leaves in "
+      "relative key order.\nThe in-place-only reference trades those swaps "
+      "for extra moves and gives up\nnew-place's concurrency advantages "
+      "(\u00a76.1).\n");
+  return 0;
+}

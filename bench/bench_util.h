@@ -1,0 +1,78 @@
+// Shared helpers for the experiment harnesses. Each bench binary prints the
+// table/figure series it reproduces (see DESIGN.md §3 and EXPERIMENTS.md);
+// absolute numbers are machine-dependent, the *shape* is what must match the
+// paper's claims.
+
+#ifndef SOREORG_BENCH_BENCH_UTIL_H_
+#define SOREORG_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/sim/crash_injector.h"
+#include "src/sim/disk_model.h"
+#include "src/sim/workload.h"
+#include "src/util/coding.h"
+
+namespace soreorg {
+namespace bench {
+
+struct Timer {
+  std::chrono::steady_clock::time_point t0 = std::chrono::steady_clock::now();
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  }
+};
+
+/// A database holding `n` records sparsified by random deletion to roughly
+/// (1 - delete_frac) of the original fill.
+inline std::unique_ptr<Database> SparseDb(
+    MemEnv* env, uint64_t n, double delete_frac, uint64_t seed,
+    DatabaseOptions options = DatabaseOptions(),
+    std::vector<uint64_t>* survivors = nullptr) {
+  std::unique_ptr<Database> db;
+  Status s = Database::Open(env, options, &db);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  std::vector<uint64_t> local;
+  s = SparsifyByDeletion(db.get(), n, 64, 0.95, delete_frac, 10, seed,
+                         survivors ? survivors : &local);
+  if (!s.ok()) {
+    std::fprintf(stderr, "sparsify failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  return db;
+}
+
+inline BTreeStats Shape(Database* db) {
+  BTreeStats st;
+  db->tree()->ComputeStats(&st);
+  return st;
+}
+
+inline void Check(Database* db, const char* where) {
+  Status s = db->tree()->CheckConsistency();
+  if (!s.ok()) {
+    std::fprintf(stderr, "CONSISTENCY FAILURE at %s: %s\n", where,
+                 s.ToString().c_str());
+    std::abort();
+  }
+}
+
+inline void Header(const char* title, const char* paper_claim) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("paper: %s\n\n", paper_claim);
+}
+
+}  // namespace bench
+}  // namespace soreorg
+
+#endif  // SOREORG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,125 @@
+// The availability story (§4): user transactions keep flowing while the
+// reorganizer runs. Readers and updaters hammer the tree from four threads;
+// the reorganizer compacts, reorders and rebuilds underneath them using the
+// R/RX/RS protocol. Compare the same run with the Smith '90 baseline, which
+// X-locks the whole file for every block operation.
+//
+//   build/examples/example_concurrent_reorg
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/baseline/smith_reorg.h"
+#include "src/db/database.h"
+#include "src/sim/disk_model.h"
+#include "src/sim/workload.h"
+
+using namespace soreorg;
+
+namespace {
+
+struct RunResult {
+  double reorg_seconds = 0;
+  uint64_t user_ops = 0;
+  uint64_t max_latency_us = 0;
+  uint64_t failures = 0;
+};
+
+RunResult RunWithWorkload(Database* db, DiskModel* model,
+                          const std::function<Status()>& reorganize) {
+  DriverOptions dopts;
+  dopts.threads = 4;
+  dopts.key_space = 20000;
+  ConcurrentDriver driver(db, dopts);
+  driver.Start();
+  // Warm-up so the driver is actually running.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  uint64_t before_ops = driver.stats().ops;
+  (void)model;
+
+  auto t0 = std::chrono::steady_clock::now();
+  Status s = reorganize();
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  uint64_t during_ops = driver.stats().ops - before_ops;
+  driver.Stop();
+  if (!s.ok()) {
+    std::fprintf(stderr, "reorg failed: %s\n", s.ToString().c_str());
+  }
+
+  DriverStats st = driver.stats();
+  RunResult r;
+  r.reorg_seconds = secs;
+  r.user_ops = during_ops;
+  r.max_latency_us = st.max_latency_ns / 1000;
+  r.failures = st.failures;
+  return r;
+}
+
+std::unique_ptr<Database> FreshSparseDb(MemEnv* env, const char* name,
+                                        DiskModel* model) {
+  DatabaseOptions options;
+  options.name = name;
+  options.buffer_pool_pages = 96;  // force real page I/O
+  std::unique_ptr<Database> db;
+  Database::Open(env, options, &db);
+  std::vector<uint64_t> survivors;
+  SparsifyByDeletion(db.get(), 20000, 64, 0.95, 0.7, 10, 21, &survivors);
+  db->buffer_pool()->FlushAndSync();
+  // Page I/O stalls at scaled-down 1996 latencies, so lock-hold windows
+  // reflect disk time the way the paper assumes.
+  model->set_realtime_scale(0.002);
+  model->Attach(db->disk_manager());
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("4 user threads (70%% reads) running throughout each "
+              "reorganization:\n\n");
+
+  double paper_rate = 0, smith_rate = 0;
+  {
+    MemEnv env;
+    DiskModel model;
+    auto db = FreshSparseDb(&env, "paper", &model);
+    RunResult r = RunWithWorkload(db.get(), &model,
+                                  [&]() { return db->Reorganize(); });
+    paper_rate = r.user_ops / r.reorg_seconds;
+    std::printf("paper method   : reorg %.3fs, %.0f user ops/s during it "
+                "(max latency %llu us, failures %llu)\n",
+                r.reorg_seconds, paper_rate,
+                (unsigned long long)r.max_latency_us,
+                (unsigned long long)r.failures);
+    Status s = db->tree()->CheckConsistency();
+    std::printf("                 consistency: %s\n", s.ToString().c_str());
+  }
+
+  {
+    MemEnv env;
+    DiskModel model;
+    auto db = FreshSparseDb(&env, "smith", &model);
+    SmithReorganizer smith(db->tree(), db->buffer_pool(), db->log_manager(),
+                           db->lock_manager(), db->disk_manager(),
+                           db->reorg_table(), db->txn_manager(),
+                           SmithOptions{});
+    RunResult r = RunWithWorkload(db.get(), &model,
+                                  [&]() { return smith.Run(); });
+    smith_rate = r.user_ops / r.reorg_seconds;
+    std::printf("Smith '90      : reorg %.3fs, %.0f user ops/s during it "
+                "(max latency %llu us, failures %llu)\n",
+                r.reorg_seconds, smith_rate,
+                (unsigned long long)r.max_latency_us,
+                (unsigned long long)r.failures);
+    Status s = db->tree()->CheckConsistency();
+    std::printf("                 consistency: %s\n", s.ToString().c_str());
+  }
+
+  std::printf("\nUser throughput during the paper's reorganization was "
+              "%.1fx Smith '90's:\nits units lock only the leaves being "
+              "moved, while Smith's lock out the whole file.\n",
+              smith_rate > 0 ? paper_rate / smith_rate : 0.0);
+  return 0;
+}

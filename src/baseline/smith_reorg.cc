@@ -1,0 +1,75 @@
+#include "src/baseline/smith_reorg.h"
+
+namespace soreorg {
+
+SmithReorganizer::SmithReorganizer(BTree* tree, BufferPool* bp,
+                                   LogManager* log, LockManager* locks,
+                                   DiskManager* disk, ReorgTable* table,
+                                   TransactionManager* txn_mgr,
+                                   SmithOptions options)
+    : options_(options), txn_mgr_(txn_mgr) {
+  ctx_.tree = tree;
+  ctx_.bp = bp;
+  ctx_.log = log;
+  ctx_.locks = locks;
+  ctx_.disk = disk;
+  ctx_.table = table;
+  ctx_.stats = &unit_stats_;
+  ctx_.careful_writing = false;  // conventional full-content logging
+
+  LeafCompactorOptions copts;
+  copts.target_fill = options.target_fill;
+  // Smith never constructs into a spare page during compaction; merges are
+  // strictly two-block in-place operations.
+  copts.free_space_policy = FreeSpacePolicy::kNone;
+  copts.max_group = 2;
+  copts.unit_wrapper = [this](const std::function<Status()>& unit) {
+    return WrapUnit(unit);
+  };
+  compactor_ = std::make_unique<LeafCompactor>(&ctx_, copts);
+
+  SwapPassOptions sopts;
+  sopts.unit_wrapper = [this](const std::function<Status()>& unit) {
+    return WrapUnit(unit);
+  };
+  swap_pass_ = std::make_unique<SwapPass>(&ctx_, compactor_.get(), sopts);
+}
+
+Status SmithReorganizer::WrapUnit(const std::function<Status()>& unit) {
+  // One database transaction per block operation, with the whole file
+  // locked exclusively for its duration.
+  Status s = ctx_.locks->Lock(kReorgTxnId, TreeLock(ctx_.tree->incarnation()),
+                              LockMode::kX);
+  if (!s.ok()) return s;
+  Transaction* txn = txn_mgr_->Begin();
+  s = unit();
+  if (s.ok()) {
+    txn_mgr_->Commit(txn);
+    ++stats_.transactions;
+  } else {
+    txn_mgr_->Abort(txn);
+  }
+  // Drop back to the IX the pass loops expect to keep holding.
+  ctx_.locks->Downgrade(kReorgTxnId, TreeLock(ctx_.tree->incarnation()),
+                        LockMode::kIX);
+  return s;
+}
+
+Status SmithReorganizer::Run() {
+  uint64_t before_compact = unit_stats_.compact_units;
+  Status s = compactor_->Run();
+  if (!s.ok()) return s;
+  stats_.merges = unit_stats_.compact_units - before_compact;
+
+  if (options_.do_ordering_pass) {
+    uint64_t before_swaps = unit_stats_.swap_units;
+    uint64_t before_moves = unit_stats_.move_units;
+    s = swap_pass_->Run();
+    if (!s.ok()) return s;
+    stats_.swaps = unit_stats_.swap_units - before_swaps;
+    stats_.moves = unit_stats_.move_units - before_moves;
+  }
+  return Status::OK();
+}
+
+}  // namespace soreorg

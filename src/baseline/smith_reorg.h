@@ -1,0 +1,70 @@
+// Smith '90 (Tandem) baseline: "Online reorganization of key-sequenced
+// tables and files", the comparator the paper's §8 argues against.
+//
+// Faithful-to-the-comparison properties:
+//   * every block operation (merge of two blocks, move of one block to an
+//     empty block, swap of two blocks) runs as its OWN database transaction
+//     — a BEGIN/COMMIT pair of log records, flushed at commit;
+//   * each operation holds an X lock on the WHOLE FILE (the tree lock), so
+//     user transactions cannot access the B+-tree at all while a block
+//     operation runs;
+//   * each operation touches exactly TWO blocks (so filling one page to the
+//     target fill factor takes several transactions — the paper's
+//     "granularity" point);
+//   * logging is conventional full-content logging (careful writing off);
+//   * an interrupted operation is ROLLED BACK at restart, not finished
+//     (pair with RecoveryPolicy::kRollback).
+//
+// Upper levels are not rebuilt (Smith reorganizes the key-sequenced file —
+// the leaf level); the tree is left to shrink through normal operations.
+
+#ifndef SOREORG_BASELINE_SMITH_REORG_H_
+#define SOREORG_BASELINE_SMITH_REORG_H_
+
+#include <memory>
+
+#include "src/reorg/context.h"
+#include "src/reorg/leaf_compactor.h"
+#include "src/reorg/swap_pass.h"
+#include "src/txn/txn_manager.h"
+
+namespace soreorg {
+
+struct SmithOptions {
+  double target_fill = 0.9;
+  bool do_ordering_pass = true;  // block swaps/moves for key order
+};
+
+struct SmithStats {
+  uint64_t transactions = 0;  // one per block operation
+  uint64_t merges = 0;
+  uint64_t moves = 0;
+  uint64_t swaps = 0;
+};
+
+class SmithReorganizer {
+ public:
+  SmithReorganizer(BTree* tree, BufferPool* bp, LogManager* log,
+                   LockManager* locks, DiskManager* disk, ReorgTable* table,
+                   TransactionManager* txn_mgr, SmithOptions options);
+
+  Status Run();
+
+  const SmithStats& stats() const { return stats_; }
+  const ReorgStats& unit_stats() const { return unit_stats_; }
+
+ private:
+  Status WrapUnit(const std::function<Status()>& unit);
+
+  SmithOptions options_;
+  SmithStats stats_;
+  ReorgStats unit_stats_;
+  ReorgContext ctx_;
+  TransactionManager* txn_mgr_;
+  std::unique_ptr<LeafCompactor> compactor_;
+  std::unique_ptr<SwapPass> swap_pass_;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_BASELINE_SMITH_REORG_H_

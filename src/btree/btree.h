@@ -1,0 +1,298 @@
+// BTree: the primary-index B+-tree under reorganization.
+//
+// Shape: height >= 2 always (a root internal node above at least one leaf),
+// so "base pages" (parents of leaves, level 1) exist from the start. An
+// internal node with n keys has n children (the paper's variation); the
+// leftmost separator of the whole tree is the empty slice (= -infinity).
+//
+// Concurrency follows §4.1 of the paper exactly:
+//   * readers:  IS tree lock, S lock-couple to the leaf; if the leaf lock
+//     request hits a granted RX lock the lock manager answers kBackoff and
+//     the reader releases its base-page S lock, waits on an unconditional
+//     instant-duration RS lock on the base page, then retries the descent;
+//   * updaters: IX tree lock, S lock-couple, X on the leaf; same RX
+//     back-off rule. If a split / free-at-empty is needed the operation
+//     restarts with Bayer-Scholnick X lock-coupling, releasing ancestors
+//     above the deepest safe node — this is what waits for (rather than
+//     backs off from) a reorganizer holding R on a base page;
+//   * deletions never consolidate: a leaf is deallocated only when it
+//     becomes completely empty (free-at-empty, [JS93]) — this is the policy
+//     that produces the sparse trees the reorganizer exists to fix.
+//
+// Structure modifications (splits, free-at-empty) are logged as single
+// atomic WAL records (kLeafSplit / kInternalSplit / kNodeFree) so redo can
+// replay them page-by-page against pageLSNs; record-level changes use
+// physiological kInsert/kDelete/kUpdate records undone *logically* (ARIES
+// index-management style) via the TransactionManager's undo applier.
+//
+// Pass-3 integration (§7.2): when the reorganization bit is set, every
+// committed base-page modification is reported — under the base page's X
+// lock — to the registered BaseUpdateHook, which implements the CK
+// comparison and side-file insertion. A hook return of kBusy means "the
+// switch completed under you": the operation re-reads the (new) root and
+// retries against the new tree.
+
+#ifndef SOREORG_BTREE_BTREE_H_
+#define SOREORG_BTREE_BTREE_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/btree/node.h"
+#include "src/storage/buffer_pool.h"
+#include "src/txn/lock_manager.h"
+#include "src/txn/transaction.h"
+#include "src/util/status.h"
+#include "src/wal/log_manager.h"
+
+namespace soreorg {
+
+enum class SidePointerMode : uint8_t { kNone = 0, kOneWay = 1, kTwoWay = 2 };
+
+struct BTreeOptions {
+  SidePointerMode side_pointers = SidePointerMode::kTwoWay;
+  /// Fraction of used bytes kept in the left page on a split.
+  double split_fraction = 0.5;
+  /// Max op-level retries after Backoff/Deadlock before giving up.
+  int max_retries = 256;
+};
+
+/// What kind of base-page change an updater performed (for the side file).
+enum class BaseUpdateOp : uint8_t { kInsert = 0, kDelete = 1 };
+
+/// Aggregate shape statistics (drives the before/after tables).
+struct BTreeStats {
+  uint64_t height = 0;
+  uint64_t leaf_pages = 0;
+  uint64_t internal_pages = 0;  // includes base pages and the root
+  uint64_t base_pages = 0;
+  uint64_t records = 0;
+  double avg_leaf_fill = 0.0;
+  double avg_internal_fill = 0.0;
+  /// Leaves whose page id is exactly prev leaf id + 1 (disk contiguity).
+  uint64_t leaves_in_disk_order = 0;
+};
+
+class BTree {
+ public:
+  /// (txn, op, key, leaf, base page id) -> OK, or kBusy if the tree
+  /// switched while the caller waited (retry against the new tree).
+  /// Invoked under the base page's X lock (§7.2).
+  using BaseUpdateHook =
+      std::function<Status(Transaction* txn, BaseUpdateOp op, const Slice& key,
+                           PageId leaf, PageId base_page)>;
+  /// Compensation for a successful BaseUpdateHook whose structure
+  /// modification then failed and will be retried or abandoned.
+  using BaseUpdateCancelHook = std::function<void(
+      Transaction* txn, BaseUpdateOp op, const Slice& key, PageId leaf)>;
+
+  BTree(BufferPool* bp, LogManager* log, LockManager* locks,
+        BTreeOptions options);
+
+  /// Create a fresh tree: one empty leaf under a root base page.
+  Status Create();
+
+  /// Adopt existing on-disk state (after recovery / on reopen).
+  void Attach(PageId root, uint8_t height, uint64_t incarnation);
+
+  // --- user operations -----------------------------------------------------
+  Status Insert(Transaction* txn, const Slice& key, const Slice& value);
+  Status Update(Transaction* txn, const Slice& key, const Slice& value);
+  Status Delete(Transaction* txn, const Slice& key);
+  /// txn may be null for an ephemeral (non-transactional) read.
+  Status Get(Transaction* txn, const Slice& key, std::string* value);
+
+  /// Ordered scan of [lo, hi]; cb returns false to stop early. Follows side
+  /// pointers when available, re-descends otherwise (and on RX back-off).
+  Status Scan(Transaction* txn, const Slice& lo, const Slice& hi,
+              const std::function<bool(const Slice& key, const Slice& value)>&
+                  cb);
+
+  // --- introspection -------------------------------------------------------
+  PageId root() const { return root_.load(); }
+  uint8_t height() const { return height_.load(); }
+  uint64_t incarnation() const { return incarnation_.load(); }
+
+  /// Full-tree statistics (walks every page; test/bench use).
+  Status ComputeStats(BTreeStats* stats);
+
+  /// Deep invariant check: key order, separator correctness, side-pointer
+  /// symmetry, level sanity. Test use.
+  Status CheckConsistency();
+
+  /// All leaf page ids in key order (reorg pass 2 + tests).
+  Status CollectLeaves(std::vector<PageId>* leaves);
+  /// All base page ids in key order.
+  Status CollectBasePages(std::vector<PageId>* bases);
+
+  // --- reorganizer integration --------------------------------------------
+  bool reorg_bit() const { return reorg_bit_.load(); }
+  void set_reorg_bit(bool b) { reorg_bit_.store(b); }
+  void set_base_update_hook(BaseUpdateHook hook);
+  void set_base_update_cancel_hook(BaseUpdateCancelHook hook);
+
+  /// Descend (S lock-coupling under `locker`) to the base page covering
+  /// `key`; returns with the base page locked in `mode` and pinned into
+  /// *guard. Caller unlocks.
+  Status LockBasePage(TxnId locker, const Slice& key, LockMode mode,
+                      PageId* base_pid, PageGuard* guard);
+
+  /// §7.1 "follow the leftmost pointers": the first base page and its low
+  /// mark. Takes/releases its own S locks under `locker`.
+  Status FirstBasePage(TxnId locker, std::string* low_mark, PageId* base_pid);
+
+  /// §7.1 Get_Next: low mark of the first base page whose low mark is
+  /// strictly greater than `key`; kNotFound at the end. Also returns the
+  /// page id. Takes/releases its own S locks under `locker`.
+  Status NextBasePage(TxnId locker, const Slice& key, std::string* low_mark,
+                      PageId* base_pid);
+
+  /// Apply a base-level change directly: insert or remove the (key -> leaf)
+  /// entry in the base page covering `key`, splitting base pages if needed.
+  /// Used by the pass-3 builder to apply side-file entries to the new tree
+  /// (which is Attach()-ed to a temporary BTree object before the switch).
+  Status BaseApply(Transaction* txn, BaseUpdateOp op, const Slice& key,
+                   PageId leaf);
+
+  /// Undo one of this transaction's record operations (logical, ARIES
+  /// style): performs the inverse change wherever the key now lives and
+  /// logs a CLR whose undo-next is original.prev_lsn.
+  Status UndoRecordOp(Transaction* txn, const LogRecord& original);
+
+  /// Atomically install a new root/height/incarnation (the pass-3 switch).
+  /// Logs kTreeSwitch. The caller (Switcher) owns the locking protocol.
+  Status SwitchRoot(PageId new_root, uint8_t new_height,
+                    uint64_t new_incarnation);
+
+  /// Ids of the internal pages (all levels >= 1) reachable from `root`;
+  /// used to discard the old tree's upper levels after the switch.
+  Status CollectInternalPages(PageId root, std::vector<PageId>* pages);
+
+  BufferPool* buffer_pool() { return bp_; }
+  LogManager* log_manager() { return log_; }
+  LockManager* lock_manager() { return locks_; }
+  const BTreeOptions& options() const { return options_; }
+
+  /// Ephemeral lock-owner id for non-transactional work (readers, the
+  /// reorganizer's scouting descents).
+  TxnId NewEphemeralId() { return ephemeral_next_.fetch_add(1); }
+
+  // Exposed for recovery redo (applies physiological records to pages).
+  static Status RedoApply(BufferPool* bp, const LogRecord& rec);
+
+ private:
+  friend class BTreeIterator;
+
+  struct DescentResult {
+    PageId leaf = kInvalidPageId;
+    PageId base = kInvalidPageId;
+    bool base_locked = false;  // base page S lock retained
+    std::string leaf_separator;  // the base entry key that routed here
+  };
+
+  /// Reader/updater optimistic descent. Handles the RX back-off protocol
+  /// internally (instant RS on the parent + full retry). On success the
+  /// leaf is locked in `leaf_mode` under `locker`; if keep_base_lock, the
+  /// base page S lock is retained too.
+  Status FindLeaf(TxnId locker, const Slice& key, LockMode leaf_mode,
+                  bool keep_base_lock, DescentResult* out);
+
+  /// Pessimistic Bayer-Scholnick descent: X lock-couple, releasing
+  /// ancestors above safe nodes. Returns the X-locked path (top-down,
+  /// always ending at the leaf). for_insert selects the safety predicate.
+  Status FindLeafPessimistic(TxnId locker, const Slice& key, bool for_insert,
+                             size_t need_bytes,
+                             std::vector<PageId>* locked_path);
+
+  /// Generalized pessimistic descent stopping at `stop_level` (0 = leaf,
+  /// 1 = base page).
+  Status FindPathPessimistic(TxnId locker, const Slice& key, bool for_insert,
+                             size_t need_bytes, uint8_t stop_level,
+                             std::vector<PageId>* locked_path);
+
+  /// Split the leaf at the end of `path` and insert its separator upward.
+  /// All pages in `path` are X-locked by txn. All fallible steps (locks,
+  /// allocation, internal splits) happen before any leaf cell moves, so a
+  /// failure never leaves records unreachable.
+  Status SplitLeaf(Transaction* txn, const std::vector<PageId>& path,
+                   const Slice& key);
+
+  /// Make sure the internal node path[idx] (or a split half of it) has room
+  /// for `separator`; splits propagate recursively up `path`. On return,
+  /// *target is the X-locked node covering `separator` with room, and every
+  /// newly created right half is appended to *extra_locked (caller unlocks
+  /// after its insert).
+  Status EnsureSeparatorRoom(Transaction* txn, const std::vector<PageId>& path,
+                             size_t idx, const Slice& separator,
+                             PageId* target, std::vector<PageId>* extra_locked);
+
+  /// Split the internal node path[idx]; requires that path[idx-1] already
+  /// has room for the promoted separator (or idx == 0: a root split).
+  Status SplitInternal(Transaction* txn, const std::vector<PageId>& path,
+                       size_t idx, std::string* out_separator,
+                       PageId* out_new_pid);
+
+  /// Insert (separator, child) into an internal node that is guaranteed to
+  /// have room, with logging.
+  Status InsertSeparatorInto(Transaction* txn, PageId node_pid,
+                             const Slice& separator, PageId child);
+
+  /// Free-at-empty: deallocate the (empty) leaf at the end of `path`,
+  /// remove its separator from the base page, fix side pointers, cascade
+  /// upward if internal nodes empty. Failure is benign (the empty leaf
+  /// simply stays linked).
+  Status FreeEmptyLeaf(Transaction* txn, const std::vector<PageId>& path);
+
+  /// Keep separators exact: if the base entry routing `key` has a separator
+  /// above `key` (the key would only be reachable via slot-0 clamping,
+  /// which pass 3's flat rebuild cannot preserve), lower the separator to
+  /// `key` under the base page's X lock, with pass-3 side-file
+  /// notification. Idempotent; retries internally on deadlock.
+  Status LowerSeparatorIfNeeded(Transaction* txn, const Slice& key);
+
+  /// Invoke the base-update hook if the reorganization bit is set.
+  Status NotifyBaseUpdate(Transaction* txn, BaseUpdateOp op, const Slice& key,
+                          PageId leaf, PageId base_pid);
+  /// Invoke the cancel hook (after a successful NotifyBaseUpdate whose
+  /// operation then failed).
+  void CancelBaseUpdate(Transaction* txn, BaseUpdateOp op, const Slice& key,
+                        PageId leaf);
+
+  /// Log a record-level op for txn and stamp the page LSN.
+  Status LogRecordOp(Transaction* txn, LogType type, PageId page,
+                     const Slice& key, const Slice& old_value,
+                     const Slice& new_value, Page* page_obj);
+
+  Status UnlockPages(TxnId locker, std::vector<PageId>* pids);
+
+  /// Recursive helper for NextBasePage; node_pid is S-locked by the caller
+  /// and has level >= 2.
+  Status NextBaseIn(TxnId locker, PageId node_pid, const Slice& key,
+                    std::string* low_mark, PageId* base_pid);
+
+  /// Recursive invariant check for CheckConsistency().
+  Status CheckSubtree(PageId pid, const Slice& lo, const Slice& hi,
+                      uint8_t expect_level, bool is_root);
+
+  BufferPool* bp_;
+  LogManager* log_;
+  LockManager* locks_;
+  BTreeOptions options_;
+
+  std::atomic<PageId> root_{kInvalidPageId};
+  std::atomic<uint8_t> height_{0};
+  std::atomic<uint64_t> incarnation_{1};
+  std::atomic<bool> reorg_bit_{false};
+  std::atomic<TxnId> ephemeral_next_{1ull << 62};
+
+  BaseUpdateHook base_update_hook_;
+  BaseUpdateCancelHook base_update_cancel_hook_;
+  std::mutex hook_mu_;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_BTREE_BTREE_H_

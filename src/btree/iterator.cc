@@ -1,0 +1,123 @@
+#include "src/btree/iterator.h"
+
+namespace soreorg {
+
+BTreeIterator::BTreeIterator(BTree* tree, Transaction* txn)
+    : tree_(tree),
+      locker_(txn != nullptr ? txn->id() : tree->NewEphemeralId()),
+      ephemeral_(txn == nullptr) {}
+
+BTreeIterator::~BTreeIterator() {
+  if (tree_locked_ && ephemeral_) {
+    tree_->lock_manager()->Unlock(locker_, TreeLock(tree_lock_inc_));
+  }
+}
+
+Status BTreeIterator::Seek(const Slice& key) {
+  if (!tree_locked_) {
+    tree_lock_inc_ = tree_->incarnation();
+    Status s = tree_->lock_manager()->Lock(locker_, TreeLock(tree_lock_inc_),
+                                           LockMode::kIS);
+    if (!s.ok()) return s;
+    tree_locked_ = true;
+  }
+  return LoadBatch(key);
+}
+
+Status BTreeIterator::LoadBatch(const Slice& from_key) {
+  buf_.clear();
+  idx_ = 0;
+  std::string probe = from_key.ToString();
+
+  // Hop leaves until a non-empty batch or the end of the tree. Bounded by
+  // the retry budget to stay robust against pathological concurrent churn.
+  for (int hops = 0; hops < tree_->options().max_retries; ++hops) {
+    BTree::DescentResult r;
+    Status s = tree_->FindLeaf(locker_, probe, LockMode::kS,
+                               /*keep_base_lock=*/true, &r);
+    if (!s.ok()) return s;
+
+    LockManager* lm = tree_->lock_manager();
+    BufferPool* bp = tree_->buffer_pool();
+
+    // Learn this leaf's upper bound from the base page: the next separator
+    // in the base page, or the next base page's low mark.
+    std::string upper;
+    bool has_upper = false;
+    std::string base_last_sep;
+    {
+      Page* base_page;
+      s = bp->FetchPage(r.base, &base_page);
+      if (!s.ok()) {
+        lm->Unlock(locker_, PageLock(r.base));
+        lm->Unlock(locker_, PageLock(r.leaf));
+        return s;
+      }
+      std::shared_lock<std::shared_mutex> latch(base_page->latch());
+      InternalNode node(base_page);
+      int slot = node.FindChildSlot(r.leaf);
+      if (slot >= 0 && slot + 1 < node.Count()) {
+        upper = node.KeyAt(slot + 1).ToString();
+        has_upper = true;
+      } else {
+        base_last_sep = node.KeyAt(node.Count() - 1).ToString();
+      }
+      bp->UnpinPage(r.base, false);
+    }
+    lm->Unlock(locker_, PageLock(r.base));
+
+    // Copy qualifying records.
+    {
+      Page* leaf_page;
+      s = bp->FetchPage(r.leaf, &leaf_page);
+      if (!s.ok()) {
+        lm->Unlock(locker_, PageLock(r.leaf));
+        return s;
+      }
+      std::shared_lock<std::shared_mutex> latch(leaf_page->latch());
+      LeafNode ln(leaf_page);
+      bool exact;
+      for (int i = ln.LowerBound(probe, &exact); i < ln.Count(); ++i) {
+        buf_.emplace_back(ln.KeyAt(i).ToString(), ln.ValueAt(i).ToString());
+      }
+      bp->UnpinPage(r.leaf, false);
+    }
+    lm->Unlock(locker_, PageLock(r.leaf));
+    leaf_trail_.push_back(r.leaf);
+
+    if (!has_upper) {
+      // Last leaf of its base page: the upper bound is the next base page's
+      // low mark (racy but monotonic; see header).
+      std::string lm_key;
+      PageId next_base;
+      s = tree_->NextBasePage(locker_, base_last_sep, &lm_key, &next_base);
+      if (s.ok()) {
+        upper = lm_key;
+        has_upper = true;
+      } else if (!s.IsNotFound()) {
+        return s;
+      }
+    }
+    upper_bound_ = upper;
+    has_upper_ = has_upper;
+
+    if (!buf_.empty()) return Status::OK();
+    if (!has_upper_) return Status::OK();  // end of tree, Valid() == false
+    probe = upper_bound_;
+  }
+  return Status::Busy("iterator hop budget exhausted");
+}
+
+Status BTreeIterator::Next() {
+  if (idx_ + 1 < buf_.size()) {
+    ++idx_;
+    return Status::OK();
+  }
+  if (!has_upper_) {
+    idx_ = buf_.size();  // end
+    return Status::OK();
+  }
+  return LoadBatch(upper_bound_);
+}
+
+}  // namespace soreorg

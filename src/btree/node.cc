@@ -1,0 +1,237 @@
+#include "src/btree/node.h"
+
+#include <cassert>
+
+#include "src/util/coding.h"
+
+namespace soreorg {
+
+namespace {
+
+struct LeafCell {
+  Slice key;
+  Slice value;
+};
+
+bool ParseLeafCell(Slice cell, LeafCell* out) {
+  return GetLengthPrefixedSlice(&cell, &out->key) &&
+         GetLengthPrefixedSlice(&cell, &out->value);
+}
+
+std::string MakeLeafCell(const Slice& key, const Slice& value) {
+  std::string cell;
+  PutLengthPrefixedSlice(&cell, key);
+  PutLengthPrefixedSlice(&cell, value);
+  return cell;
+}
+
+struct InternalCell {
+  Slice key;
+  PageId child;
+};
+
+bool ParseInternalCell(Slice cell, InternalCell* out) {
+  if (!GetLengthPrefixedSlice(&cell, &out->key)) return false;
+  uint32_t child;
+  if (!GetFixed32(&cell, &child)) return false;
+  out->child = child;
+  return true;
+}
+
+std::string MakeInternalCell(const Slice& key, PageId child) {
+  std::string cell;
+  PutLengthPrefixedSlice(&cell, key);
+  PutFixed32(&cell, child);
+  return cell;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LeafNode
+// ---------------------------------------------------------------------------
+
+void LeafNode::Format(Page* page, PageId page_id) {
+  page->Reset();
+  page->set_page_id(page_id);
+  page->SetHeaderPageId(page_id);
+  page->set_type(PageType::kLeaf);
+  page->set_level(0);
+  SlottedPage sp(page);
+  sp.Init();
+}
+
+Slice LeafNode::KeyAt(int i) const {
+  LeafCell c;
+  bool ok = ParseLeafCell(sp_.GetCell(i), &c);
+  assert(ok);
+  (void)ok;
+  return c.key;
+}
+
+Slice LeafNode::ValueAt(int i) const {
+  LeafCell c;
+  bool ok = ParseLeafCell(sp_.GetCell(i), &c);
+  assert(ok);
+  (void)ok;
+  return c.value;
+}
+
+int LeafNode::LowerBound(const Slice& key, bool* exact) const {
+  int lo = 0, hi = Count();
+  *exact = false;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    int cmp = KeyAt(mid).compare(key);
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      if (cmp == 0) *exact = true;
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Status LeafNode::Insert(const Slice& key, const Slice& value) {
+  bool exact;
+  int pos = LowerBound(key, &exact);
+  if (exact) return Status::InvalidArgument("duplicate key");
+  return sp_.InsertCell(pos, MakeLeafCell(key, value));
+}
+
+Status LeafNode::SetValueAt(int i, const Slice& value) {
+  return sp_.SetCell(i, MakeLeafCell(KeyAt(i).ToString(), value));
+}
+
+void LeafNode::RemoveAt(int i) { sp_.RemoveCell(i); }
+
+size_t LeafNode::CellSize(const Slice& key, const Slice& value) {
+  return MakeLeafCell(key, value).size() + SlottedPage::kCellLenPrefix +
+         2 /*slot*/;
+}
+
+// ---------------------------------------------------------------------------
+// InternalNode
+// ---------------------------------------------------------------------------
+
+void InternalNode::Format(Page* page, PageId page_id, uint8_t level,
+                          const Slice& low_mark) {
+  page->Reset();
+  page->set_page_id(page_id);
+  page->SetHeaderPageId(page_id);
+  page->set_type(PageType::kInternal);
+  page->set_level(level);
+  SlottedPage sp(page);
+  sp.Init(low_mark);
+}
+
+Slice InternalNode::KeyAt(int i) const {
+  InternalCell c;
+  bool ok = ParseInternalCell(sp_.GetCell(i), &c);
+  assert(ok);
+  (void)ok;
+  return c.key;
+}
+
+PageId InternalNode::ChildAt(int i) const {
+  InternalCell c;
+  bool ok = ParseInternalCell(sp_.GetCell(i), &c);
+  assert(ok);
+  (void)ok;
+  return c.child;
+}
+
+int InternalNode::FindChild(const Slice& key) const {
+  assert(Count() > 0);
+  // Largest i with KeyAt(i) <= key.
+  int lo = 0, hi = Count() - 1, ans = 0;
+  while (lo <= hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (KeyAt(mid).compare(key) <= 0) {
+      ans = mid;
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return ans;
+}
+
+int InternalNode::LowerBound(const Slice& key, bool* exact) const {
+  int lo = 0, hi = Count();
+  *exact = false;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    int cmp = KeyAt(mid).compare(key);
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      if (cmp == 0) *exact = true;
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int InternalNode::FindChildSlot(PageId child) const {
+  for (int i = 0; i < Count(); ++i) {
+    if (ChildAt(i) == child) return i;
+  }
+  return -1;
+}
+
+Status InternalNode::Insert(const Slice& key, PageId child) {
+  bool exact;
+  int pos = LowerBound(key, &exact);
+  if (exact) return Status::InvalidArgument("duplicate separator");
+  return sp_.InsertCell(pos, MakeInternalCell(key, child));
+}
+
+Status InternalNode::SetKeyAt(int i, const Slice& key) {
+  PageId child = ChildAt(i);
+  sp_.RemoveCell(i);
+  // Re-insert at the sorted position for the new key (it may move).
+  bool exact;
+  int pos = LowerBound(key, &exact);
+  if (exact) return Status::InvalidArgument("duplicate separator");
+  return sp_.InsertCell(pos, MakeInternalCell(key, child));
+}
+
+void InternalNode::SetChildAt(int i, PageId child) {
+  std::string cell = MakeInternalCell(KeyAt(i).ToString(), child);
+  sp_.SetCell(i, cell);
+}
+
+void InternalNode::RemoveAt(int i) { sp_.RemoveCell(i); }
+
+size_t InternalNode::CellSize(const Slice& key) {
+  return MakeInternalCell(key, 0).size() + SlottedPage::kCellLenPrefix +
+         2 /*slot*/;
+}
+
+std::string PackCellRange(const SlottedPage& sp, int from, int to) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(to - from));
+  for (int i = from; i < to; ++i) {
+    PutLengthPrefixedSlice(&out, sp.GetCell(i));
+  }
+  return out;
+}
+
+Status UnpackCells(Slice bundle, std::vector<std::string>* cells) {
+  uint32_t n;
+  if (!GetVarint32(&bundle, &n)) return Status::Corruption("cell bundle");
+  cells->clear();
+  cells->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Slice c;
+    if (!GetLengthPrefixedSlice(&bundle, &c)) {
+      return Status::Corruption("cell bundle");
+    }
+    cells->push_back(c.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace soreorg

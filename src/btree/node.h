@@ -1,0 +1,118 @@
+// Typed node views over slotted pages.
+//
+// LeafNode cells:     varint key_len | key | varint val_len | value
+// InternalNode cells: varint key_len | key | fixed32 child_page_id
+//
+// Following the paper's B+-tree variation, an internal node with n keys has
+// n children: key[i] is the low key (separator) of child[i], and a search
+// key k descends into child[i] for the largest i with key[i] <= k. Keys
+// smaller than key[0] (possible only transiently at the leftmost edge)
+// descend into child[0].
+//
+// Base pages (internal nodes at level 1, the parents of leaves) carry a
+// "low mark" — the smallest key on the page when it was created (§7.1) —
+// stored in the slotted page's aux blob. The pass-3 tree builder keys its
+// progress (CK / Get_Next) off these low marks.
+
+#ifndef SOREORG_BTREE_NODE_H_
+#define SOREORG_BTREE_NODE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/storage/slotted_page.h"
+#include "src/util/status.h"
+
+namespace soreorg {
+
+class LeafNode {
+ public:
+  explicit LeafNode(Page* page) : sp_(page) {}
+
+  /// Format a fresh page as an empty leaf.
+  static void Format(Page* page, PageId page_id);
+
+  int Count() const { return sp_.slot_count(); }
+  Slice KeyAt(int i) const;
+  Slice ValueAt(int i) const;
+
+  /// Lowest slot with key >= `key`; Count() if none. *exact set if equal.
+  int LowerBound(const Slice& key, bool* exact) const;
+
+  Status Insert(const Slice& key, const Slice& value);
+  /// Replace the value of an existing key (slot i).
+  Status SetValueAt(int i, const Slice& value);
+  void RemoveAt(int i);
+  void Clear() { sp_.Clear(); }
+
+  size_t FreeSpace() const { return sp_.FreeSpace(); }
+  size_t UsedSpace() const { return sp_.UsedSpace(); }
+  double FillFactor() const { return sp_.FillFactor(); }
+  size_t Capacity() const { return sp_.Capacity(); }
+
+  /// Bytes one (key, value) cell would occupy (cell + slot overhead).
+  static size_t CellSize(const Slice& key, const Slice& value);
+
+  Page* page() { return sp_.page(); }
+  const Page* page() const { return sp_.page(); }
+
+ private:
+  SlottedPage sp_;
+};
+
+class InternalNode {
+ public:
+  explicit InternalNode(Page* page) : sp_(page) {}
+
+  /// Format a fresh page as an empty internal node at `level` (1 = base
+  /// page) with the given low mark.
+  static void Format(Page* page, PageId page_id, uint8_t level,
+                     const Slice& low_mark);
+
+  int Count() const { return sp_.slot_count(); }
+  Slice KeyAt(int i) const;
+  PageId ChildAt(int i) const;
+
+  /// Index of the child a search for `key` descends into:
+  /// largest i with KeyAt(i) <= key, clamped to 0. Count() must be > 0.
+  int FindChild(const Slice& key) const;
+
+  /// Lowest slot with key >= `key`; Count() if none. *exact set if equal.
+  int LowerBound(const Slice& key, bool* exact) const;
+
+  /// Slot holding `child`, or -1.
+  int FindChildSlot(PageId child) const;
+
+  Status Insert(const Slice& key, PageId child);
+  Status SetKeyAt(int i, const Slice& key);
+  void SetChildAt(int i, PageId child);
+  void RemoveAt(int i);
+  void Clear() { sp_.Clear(); }
+
+  /// The page's creation-time low mark (§7.1).
+  Slice LowMark() const { return sp_.GetAux(); }
+
+  size_t FreeSpace() const { return sp_.FreeSpace(); }
+  size_t UsedSpace() const { return sp_.UsedSpace(); }
+  double FillFactor() const { return sp_.FillFactor(); }
+  size_t Capacity() const { return sp_.Capacity(); }
+
+  static size_t CellSize(const Slice& key);
+
+  Page* page() { return sp_.page(); }
+  const Page* page() const { return sp_.page(); }
+
+ private:
+  SlottedPage sp_;
+};
+
+/// Pack raw slotted cells [from, to) into a length-prefixed bundle (split /
+/// move log payloads).
+std::string PackCellRange(const SlottedPage& sp, int from, int to);
+
+/// Unpack a bundle produced by PackCellRange.
+Status UnpackCells(Slice bundle, std::vector<std::string>* cells);
+
+}  // namespace soreorg
+
+#endif  // SOREORG_BTREE_NODE_H_

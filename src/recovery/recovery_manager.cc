@@ -1,0 +1,630 @@
+#include "src/recovery/recovery_manager.h"
+
+#include <algorithm>
+
+#include "src/reorg/reorg_log.h"
+#include "src/util/coding.h"
+
+namespace soreorg {
+
+namespace {
+
+PageId DecodePid(const Slice& s) {
+  return s.size() == 4 ? DecodeFixed32(s.data()) : kInvalidPageId;
+}
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(DiskManager* disk, BufferPool* bp,
+                                 LogManager* log, CheckpointMaster* master,
+                                 SideFile* side_file)
+    : disk_(disk), bp_(bp), log_(log), master_(master), side_file_(side_file) {}
+
+Status RecoveryManager::RedoReorgMove(const LogRecord& rec) {
+  PageId org = rec.page_id;
+  PageId dest = rec.page_id2;
+
+  if (rec.flags & kSwapImages) {
+    // Swap redo: the payload is org's pre-swap image; careful writing
+    // guarantees dest (which received org's image) never reached disk
+    // before org did.
+    Page* a;
+    Status s = bp_->FetchPage(org, &a);
+    if (!s.ok()) return s;
+    Page* b;
+    s = bp_->FetchPage(dest, &b);
+    if (!s.ok()) {
+      bp_->UnpinPage(org, false);
+      return s;
+    }
+    bool a_stale = a->page_lsn() < rec.lsn;
+    bool b_stale = b->page_lsn() < rec.lsn;
+    std::vector<std::string> image_cells;
+    UnpackCells(rec.payload, &image_cells);
+    if (a_stale && b_stale) {
+      SlottedPage spa(a);
+      std::vector<std::string> b_new;  // a's new content = b's old cells
+      SlottedPage spb(b);
+      for (int i = 0; i < spb.slot_count(); ++i) {
+        b_new.push_back(spb.GetCell(i).ToString());
+      }
+      spa.Clear();
+      for (size_t i = 0; i < b_new.size(); ++i) {
+        spa.InsertCell(static_cast<int>(i), b_new[i]);
+      }
+      spb.Clear();
+      for (size_t i = 0; i < image_cells.size(); ++i) {
+        spb.InsertCell(static_cast<int>(i), image_cells[i]);
+      }
+      a->set_page_lsn(rec.lsn);
+      b->set_page_lsn(rec.lsn);
+      bp_->UnpinPage(org, true);
+      bp_->UnpinPage(dest, true);
+    } else if (b_stale) {
+      SlottedPage spb(b);
+      spb.Clear();
+      for (size_t i = 0; i < image_cells.size(); ++i) {
+        spb.InsertCell(static_cast<int>(i), image_cells[i]);
+      }
+      b->set_page_lsn(rec.lsn);
+      bp_->UnpinPage(org, false);
+      bp_->UnpinPage(dest, true);
+    } else {
+      bp_->UnpinPage(org, false);
+      bp_->UnpinPage(dest, false);
+    }
+    bp_->AddWriteOrder(org, dest);
+    return Status::OK();
+  }
+
+  Page* src_page;
+  Status s = bp_->FetchPage(org, &src_page);
+  if (!s.ok()) return s;
+  Page* dest_page;
+  s = bp_->FetchPage(dest, &dest_page);
+  if (!s.ok()) {
+    bp_->UnpinPage(org, false);
+    return s;
+  }
+
+  bool dest_stale = dest_page->page_lsn() < rec.lsn;
+  bool src_stale = src_page->page_lsn() < rec.lsn;
+  bool touched_dest = false, touched_src = false;
+
+  if (rec.flags & kMoveKeysOnly) {
+    std::vector<std::string> keys;
+    s = DecodeMovedKeys(rec.payload, &keys);
+    if (!s.ok()) {
+      bp_->UnpinPage(org, false);
+      bp_->UnpinPage(dest, false);
+      return s;
+    }
+    if (dest_stale) {
+      LeafNode sl(src_page);
+      LeafNode dl(dest_page);
+      for (const std::string& k : keys) {
+        bool exact;
+        int pos = sl.LowerBound(k, &exact);
+        if (!exact) continue;  // careful-writing invariant violated?
+        bool dexact;
+        dl.LowerBound(k, &dexact);
+        if (!dexact) dl.Insert(k, sl.ValueAt(pos));
+      }
+      dest_page->set_page_lsn(rec.lsn);
+      touched_dest = true;
+    }
+    if (src_stale) {
+      LeafNode sl(src_page);
+      for (const std::string& k : keys) {
+        bool exact;
+        int pos = sl.LowerBound(k, &exact);
+        if (exact) sl.RemoveAt(pos);
+      }
+      src_page->set_page_lsn(rec.lsn);
+      touched_src = true;
+    }
+    // Re-establish the write-order dependency for the rest of recovery.
+    bp_->AddWriteOrder(dest, org);
+  } else {
+    std::vector<std::pair<std::string, std::string>> records;
+    s = DecodeMovedRecords(rec.payload, &records);
+    if (!s.ok()) {
+      bp_->UnpinPage(org, false);
+      bp_->UnpinPage(dest, false);
+      return s;
+    }
+    if (dest_stale) {
+      LeafNode dl(dest_page);
+      for (const auto& [k, v] : records) {
+        bool exact;
+        dl.LowerBound(k, &exact);
+        if (!exact) dl.Insert(k, v);
+      }
+      dest_page->set_page_lsn(rec.lsn);
+      touched_dest = true;
+    }
+    if (src_stale) {
+      LeafNode sl(src_page);
+      for (const auto& [k, v] : records) {
+        bool exact;
+        int pos = sl.LowerBound(k, &exact);
+        if (exact) sl.RemoveAt(pos);
+      }
+      src_page->set_page_lsn(rec.lsn);
+      touched_src = true;
+    }
+  }
+  bp_->UnpinPage(org, touched_src);
+  bp_->UnpinPage(dest, touched_dest);
+  return Status::OK();
+}
+
+Status RecoveryManager::RedoReorgModify(const LogRecord& rec) {
+  Page* page;
+  Status s = bp_->FetchPage(rec.page_id, &page);
+  if (!s.ok()) return s;
+  if (page->page_lsn() >= rec.lsn) {
+    bp_->UnpinPage(rec.page_id, false);
+    return Status::OK();
+  }
+  InternalNode node(page);
+  PageId org_pid = DecodePid(rec.value);
+  PageId new_pid = DecodePid(rec.value2);
+  if (new_pid == kInvalidPageId) {
+    // Removal of (org key -> org pid).
+    bool exact;
+    int pos = node.LowerBound(rec.key, &exact);
+    if (exact && node.ChildAt(pos) == org_pid) node.RemoveAt(pos);
+  } else if (rec.key.empty() && org_pid == kInvalidPageId &&
+             !rec.key2.empty()) {
+    // Insertion of (new key -> new pid).
+    bool exact;
+    node.LowerBound(rec.key2, &exact);
+    if (!exact) node.Insert(rec.key2, new_pid);
+  } else {
+    // Replacement.
+    bool exact;
+    int pos = node.LowerBound(rec.key, &exact);
+    if (exact) {
+      if (rec.key == rec.key2) {
+        node.SetChildAt(pos, new_pid);
+      } else {
+        node.RemoveAt(pos);
+        bool e2;
+        node.LowerBound(rec.key2, &e2);
+        if (!e2) node.Insert(rec.key2, new_pid);
+      }
+    }
+  }
+  page->set_page_lsn(rec.lsn);
+  bp_->UnpinPage(rec.page_id, true);
+  return Status::OK();
+}
+
+Status RecoveryManager::Recover(RecoveryResult* result) {
+  // --- analysis: checkpoint ---------------------------------------------------
+  Lsn start_lsn = 0;
+  CheckpointImage image;
+  bool have_ckpt = false;
+  Lsn ckpt_lsn;
+  Status s = master_->Load(&ckpt_lsn);
+  if (s.ok()) {
+    LogRecord ck;
+    s = log_->ReadAt(ckpt_lsn, &ck);
+    if (!s.ok()) return s;
+    if (ck.type != LogType::kCheckpoint) {
+      return Status::Corruption("master points at non-checkpoint record");
+    }
+    s = CheckpointImage::Parse(ck.payload, &image);
+    if (!s.ok()) return s;
+    have_ckpt = true;
+    start_lsn = ckpt_lsn;
+  } else if (!s.IsNotFound()) {
+    return s;
+  }
+
+  std::map<TxnId, Lsn> txn_table;
+  if (have_ckpt) {
+    s = disk_->RestoreMeta(image.disk_meta);
+    if (!s.ok()) return s;
+    for (const auto& [txn, lsn] : txn_table) (void)txn, (void)lsn;
+    for (const auto& [txn, lsn] : image.active_txns) txn_table[txn] = lsn;
+    result->tree_root = image.tree_root;
+    result->tree_height = image.tree_height;
+    result->tree_incarnation = image.tree_incarnation;
+    result->next_txn_id = image.next_txn_id;
+    result->reorg = image.reorg;
+    if (side_file_ && !image.side_file_image.empty()) {
+      s = side_file_->Restore(image.side_file_image);
+      if (!s.ok()) return s;
+    }
+  }
+
+  // --- redo -------------------------------------------------------------------
+  std::vector<LogRecord> records;
+  s = log_->ReadAll(&records, start_lsn);
+  if (!s.ok()) return s;
+
+  bool unit_open = result->reorg.has_open_unit;
+  uint32_t open_unit = result->reorg.unit;
+  std::vector<LogRecord>& unit_records = result->incomplete_unit_records;
+  std::vector<PageId> pass3_allocs_since_stable;
+  bool pass3_active = result->reorg.reorg_bit;
+  std::string stable_key = result->reorg.stable_key;
+  PageId partial_top = result->reorg.new_tree_root;
+
+  for (const LogRecord& rec : records) {
+    ++result->records_scanned;
+    if (have_ckpt && rec.lsn == ckpt_lsn) continue;  // the checkpoint itself
+
+    // Transaction table maintenance.
+    if (rec.txn_id >= kFirstUserTxnId) {
+      if (rec.type == LogType::kCommit || rec.type == LogType::kAbort) {
+        txn_table.erase(rec.txn_id);
+      } else {
+        txn_table[rec.txn_id] = rec.lsn;
+      }
+      if (rec.txn_id + 1 > result->next_txn_id) {
+        result->next_txn_id = rec.txn_id + 1;
+      }
+    }
+
+    // Allocation state.
+    switch (rec.type) {
+      case LogType::kAllocPage:
+        disk_->AllocatePageAt(rec.page_id);
+        if (rec.flags == 1) pass3_allocs_since_stable.push_back(rec.page_id);
+        break;
+      case LogType::kDeallocPage:
+        disk_->DeallocatePage(rec.page_id);
+        break;
+      case LogType::kFormatPage:
+        disk_->AllocatePageAt(rec.page_id);
+        break;
+      case LogType::kLeafSplit:
+        disk_->AllocatePageAt(rec.page_id2);
+        break;
+      case LogType::kInternalSplit:
+        disk_->AllocatePageAt(rec.page_id2);
+        if (rec.page_id3 == kInvalidPageId) {
+          disk_->AllocatePageAt(DecodePid(rec.value2));
+        }
+        break;
+      case LogType::kNodeFree:
+        disk_->DeallocatePage(rec.page_id);
+        break;
+      default:
+        break;
+    }
+
+    // Page redo.
+    switch (rec.type) {
+      case LogType::kInsert:
+      case LogType::kDelete:
+      case LogType::kUpdate:
+      case LogType::kClr:
+      case LogType::kFormatPage:
+      case LogType::kLinkPage:
+      case LogType::kLeafSplit:
+      case LogType::kInternalSplit:
+      case LogType::kNodeFree:
+        s = BTree::RedoApply(bp_, rec);
+        if (!s.ok()) return s;
+        ++result->records_redone;
+        break;
+      case LogType::kReorgMove:
+        s = RedoReorgMove(rec);
+        if (!s.ok()) return s;
+        ++result->records_redone;
+        break;
+      case LogType::kReorgModify:
+        s = RedoReorgModify(rec);
+        if (!s.ok()) return s;
+        ++result->records_redone;
+        break;
+      default:
+        break;
+    }
+
+    // Metadata + reorganization-table tracking.
+    switch (rec.type) {
+      case LogType::kRootChange:
+        result->tree_root = rec.page_id;
+        result->tree_height = rec.flags;
+        break;
+      case LogType::kTreeSwitch:
+        result->tree_root = rec.page_id;
+        result->tree_height = rec.flags;
+        result->tree_incarnation = DecodeFixed64(rec.value.data());
+        pass3_active = false;
+        stable_key.clear();
+        partial_top = kInvalidPageId;
+        break;
+      case LogType::kReorgBegin:
+        unit_open = true;
+        open_unit = rec.unit;
+        unit_records.clear();
+        unit_records.push_back(rec);
+        break;
+      case LogType::kReorgEnd:
+        if (unit_open && rec.unit == open_unit) {
+          unit_open = false;
+          unit_records.clear();
+        }
+        result->reorg.largest_finished_key =
+            std::max(result->reorg.largest_finished_key, rec.key);
+        break;
+      case LogType::kReorgMove:
+      case LogType::kReorgModify:
+        if (unit_open && rec.unit == open_unit) unit_records.push_back(rec);
+        break;
+      case LogType::kLinkPage:
+      case LogType::kAllocPage:
+      case LogType::kDeallocPage:
+        if (unit_open && rec.unit == open_unit && rec.unit != 0) {
+          unit_records.push_back(rec);
+        }
+        break;
+      case LogType::kStableKey:
+        pass3_active = true;
+        stable_key = rec.key;
+        partial_top = rec.page_id;
+        pass3_allocs_since_stable.clear();
+        break;
+      case LogType::kSideInsert:
+        if (side_file_) {
+          side_file_->RedoInsert(static_cast<BaseUpdateOp>(rec.unit_type),
+                                 rec.key, rec.page_id);
+        }
+        break;
+      case LogType::kSideApply:
+        if (side_file_) side_file_->RedoApply();
+        break;
+      case LogType::kSideCancel:
+        if (side_file_) {
+          side_file_->RedoCancel(static_cast<BaseUpdateOp>(rec.unit_type),
+                                 rec.key, rec.page_id);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // --- analysis wrap-up ---------------------------------------------------------
+  result->losers.assign(txn_table.begin(), txn_table.end());
+  result->reorg.has_open_unit = unit_open;
+  result->reorg.unit = open_unit;
+  if (unit_open && !unit_records.empty()) {
+    result->reorg.begin_lsn = unit_records.front().lsn;
+    result->reorg.recent_lsn = unit_records.back().lsn;
+  }
+  result->reorg.reorg_bit = pass3_active;
+  result->reorg.stable_key = stable_key;
+  result->reorg.new_tree_root = partial_top;
+
+  if (pass3_active) {
+    // §7.3: reclaim pass-3 space allocated after the most recent force
+    // write, and drop side-file entries the restarted builder will re-read.
+    for (PageId p : pass3_allocs_since_stable) {
+      disk_->DeallocatePage(p);
+      ++result->pass3_pages_reclaimed;
+    }
+    if (side_file_) {
+      if (stable_key.empty()) {
+        side_file_->Clear();
+      } else {
+        side_file_->PruneBeyond(stable_key);
+      }
+    }
+    result->pass3_stable_key = stable_key;
+    result->pass3_partial_top = partial_top;
+  }
+  return Status::OK();
+}
+
+Status RecoveryManager::UndoLosers(BTree* tree, const RecoveryResult& result) {
+  for (const auto& [txn_id, last_lsn] : result.losers) {
+    Transaction txn(txn_id);
+    txn.set_last_lsn(last_lsn);
+    Lsn cur = last_lsn;
+    while (cur != kInvalidLsn) {
+      LogRecord rec;
+      Status s = log_->ReadAt(cur, &rec);
+      if (!s.ok()) return s;
+      if (rec.type == LogType::kClr) {
+        cur = rec.lsn2;
+        continue;
+      }
+      if (rec.type == LogType::kInsert || rec.type == LogType::kDelete ||
+          rec.type == LogType::kUpdate) {
+        if ((rec.flags & kInternalCell) == 0) {
+          s = tree->UndoRecordOp(&txn, rec);
+          if (!s.ok()) return s;
+        }
+      } else if (rec.type == LogType::kSideInsert && side_file_ != nullptr) {
+        side_file_->UndoInsert(static_cast<BaseUpdateOp>(rec.unit_type),
+                               rec.key);
+      } else if (rec.type == LogType::kSideCancel && side_file_ != nullptr) {
+        side_file_->ReAdd(static_cast<BaseUpdateOp>(rec.unit_type), rec.key,
+                          rec.page_id);
+      }
+      cur = rec.prev_lsn;
+    }
+    LogRecord abort;
+    abort.type = LogType::kAbort;
+    abort.txn_id = txn_id;
+    abort.prev_lsn = txn.last_lsn();
+    log_->Append(&abort);
+    tree->lock_manager()->ReleaseAll(txn_id);
+  }
+  return log_->Flush();
+}
+
+Status RecoveryManager::UndoIncompleteUnit(BTree* tree,
+                                           const RecoveryResult& result) {
+  const auto& records = result.incomplete_unit_records;
+  if (records.empty()) return Status::OK();
+
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    const LogRecord& rec = *it;
+    switch (rec.type) {
+      case LogType::kReorgModify: {
+        // Invert: swap the org and new roles.
+        LogRecord inv = rec;
+        std::swap(inv.key, inv.key2);
+        std::swap(inv.value, inv.value2);
+        LogRecord logged = inv;
+        logged.prev_lsn = rec.lsn;
+        log_->Append(&logged);
+        logged.payload.clear();
+        // Re-point the base page.
+        inv.lsn = logged.lsn;
+        Status s = RedoReorgModify(inv);
+        if (!s.ok()) return s;
+        break;
+      }
+      case LogType::kReorgMove: {
+        if (rec.flags & kSwapImages) {
+          // A swap is self-inverse: swap the two pages' contents again.
+          Page* a;
+          Page* b;
+          if (!bp_->FetchPage(rec.page_id, &a).ok()) break;
+          if (!bp_->FetchPage(rec.page_id2, &b).ok()) {
+            bp_->UnpinPage(rec.page_id, false);
+            break;
+          }
+          SlottedPage spa(a), spb(b);
+          std::vector<std::string> ca, cb;
+          for (int i = 0; i < spa.slot_count(); ++i) {
+            ca.push_back(spa.GetCell(i).ToString());
+          }
+          for (int i = 0; i < spb.slot_count(); ++i) {
+            cb.push_back(spb.GetCell(i).ToString());
+          }
+          spa.Clear();
+          for (size_t i = 0; i < cb.size(); ++i) {
+            spa.InsertCell(static_cast<int>(i), cb[i]);
+          }
+          spb.Clear();
+          for (size_t i = 0; i < ca.size(); ++i) {
+            spb.InsertCell(static_cast<int>(i), ca[i]);
+          }
+          LogRecord inv;
+          inv.type = LogType::kReorgMove;
+          inv.txn_id = kReorgTxnId;
+          inv.unit = rec.unit;
+          inv.flags = kSwapImages;
+          inv.page_id = rec.page_id;
+          inv.page_id2 = rec.page_id2;
+          inv.payload = PackCellRange(spa, 0, 0);  // images already applied
+          log_->Append(&inv);
+          a->set_page_lsn(inv.lsn);
+          b->set_page_lsn(inv.lsn);
+          bp_->UnpinPage(rec.page_id, true);
+          bp_->UnpinPage(rec.page_id2, true);
+          break;
+        }
+        // Move the records back from dest to org (values live in dest now).
+        std::vector<std::string> keys;
+        if (rec.flags & kMoveKeysOnly) {
+          DecodeMovedKeys(rec.payload, &keys);
+        } else {
+          std::vector<std::pair<std::string, std::string>> recs;
+          DecodeMovedRecords(rec.payload, &recs);
+          for (auto& [k, v] : recs) keys.push_back(k);
+        }
+        Page* src_page;
+        Page* dest_page;
+        if (!bp_->FetchPage(rec.page_id, &src_page).ok()) break;
+        if (!bp_->FetchPage(rec.page_id2, &dest_page).ok()) {
+          bp_->UnpinPage(rec.page_id, false);
+          break;
+        }
+        if (src_page->type() != PageType::kLeaf) {
+          LeafNode::Format(src_page, rec.page_id);
+          disk_->AllocatePageAt(rec.page_id);
+        }
+        LeafNode sl(src_page);
+        LeafNode dl(dest_page);
+        std::vector<std::pair<std::string, std::string>> back;
+        for (const std::string& k : keys) {
+          bool exact;
+          int pos = dl.LowerBound(k, &exact);
+          if (exact) {
+            back.emplace_back(k, dl.ValueAt(pos).ToString());
+          }
+        }
+        LogRecord inv;
+        inv.type = LogType::kReorgMove;
+        inv.txn_id = kReorgTxnId;
+        inv.unit = rec.unit;
+        inv.page_id = rec.page_id2;  // org = old dest
+        inv.page_id2 = rec.page_id;  // dest = old org
+        inv.payload = EncodeMovedRecords(back);
+        log_->Append(&inv);
+        for (const auto& [k, v] : back) {
+          bool exact;
+          int pos = dl.LowerBound(k, &exact);
+          if (exact) dl.RemoveAt(pos);
+          bool e2;
+          sl.LowerBound(k, &e2);
+          if (!e2) sl.Insert(k, v);
+        }
+        src_page->set_page_lsn(inv.lsn);
+        dest_page->set_page_lsn(inv.lsn);
+        bp_->UnpinPage(rec.page_id, true);
+        bp_->UnpinPage(rec.page_id2, true);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  LogRecord end;
+  end.type = LogType::kReorgEnd;
+  end.txn_id = kReorgTxnId;
+  end.unit = records.front().unit;
+  end.key = result.reorg.largest_finished_key;
+  log_->AppendAndFlush(&end);
+  return RepairSideChain(tree);
+}
+
+Status RecoveryManager::RepairSideChain(BTree* tree) {
+  if (tree->options().side_pointers == SidePointerMode::kNone) {
+    return Status::OK();
+  }
+  std::vector<PageId> leaves;
+  Status s = tree->CollectLeaves(&leaves);
+  if (!s.ok()) return s;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    Page* page;
+    s = bp_->FetchPage(leaves[i], &page);
+    if (!s.ok()) return s;
+    PageId want_prev = (i > 0) ? leaves[i - 1] : kInvalidPageId;
+    PageId want_next = (i + 1 < leaves.size()) ? leaves[i + 1]
+                                               : kInvalidPageId;
+    if (tree->options().side_pointers == SidePointerMode::kOneWay) {
+      want_prev = page->prev();
+    }
+    if (page->prev() != want_prev || page->next() != want_next) {
+      LogRecord link;
+      link.type = LogType::kLinkPage;
+      link.txn_id = kReorgTxnId;
+      link.page_id = leaves[i];
+      link.page_id2 = want_prev;
+      link.page_id3 = want_next;
+      log_->Append(&link);
+      page->SetPrev(want_prev);
+      page->SetNext(want_next);
+      page->set_page_lsn(link.lsn);
+      bp_->UnpinPage(leaves[i], true);
+    } else {
+      bp_->UnpinPage(leaves[i], false);
+    }
+  }
+  return log_->Flush();
+}
+
+}  // namespace soreorg

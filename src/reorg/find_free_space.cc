@@ -1,0 +1,20 @@
+#include "src/reorg/find_free_space.h"
+
+namespace soreorg {
+
+PageId FindFreeSpace::Find(PageId last_finished, PageId current) const {
+  switch (policy_) {
+    case FreeSpacePolicy::kNone:
+      return kInvalidPageId;
+    case FreeSpacePolicy::kFirstFitAnywhere:
+      return disk_->FirstFreeInRange(0, disk_->page_count());
+    case FreeSpacePolicy::kPaperHeuristic: {
+      PageId lo = (last_finished == kInvalidPageId) ? 0 : last_finished + 1;
+      if (current == kInvalidPageId || lo >= current) return kInvalidPageId;
+      return disk_->FirstFreeInRange(lo, current);
+    }
+  }
+  return kInvalidPageId;
+}
+
+}  // namespace soreorg

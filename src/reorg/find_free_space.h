@@ -1,0 +1,47 @@
+// Find-Free-Space (§6.1): choose the empty page that a copy-switch unit
+// should construct its new leaf in.
+//
+// The paper's heuristic picks the FIRST free page that lies AFTER the
+// largest finished page id L and BEFORE the page being reorganized, C. This
+// moves C "left" (the tree shrinks, so left is the right direction) while
+// staying in relative key order with everything already compacted, which is
+// what minimizes pass-2 swaps.
+//
+// Two alternative policies exist purely for the E1 ablation benchmark:
+//   kFirstFitAnywhere — lowest-numbered free page regardless of L/C;
+//   kNone             — never use new-place (forces in-place + swaps).
+
+#ifndef SOREORG_REORG_FIND_FREE_SPACE_H_
+#define SOREORG_REORG_FIND_FREE_SPACE_H_
+
+#include "src/storage/disk_manager.h"
+
+namespace soreorg {
+
+enum class FreeSpacePolicy {
+  kPaperHeuristic = 0,
+  kFirstFitAnywhere = 1,
+  kNone = 2,
+};
+
+class FindFreeSpace {
+ public:
+  FindFreeSpace(DiskManager* disk, FreeSpacePolicy policy)
+      : disk_(disk), policy_(policy) {}
+
+  /// A "good" empty page for the unit about to reorganize page `current`,
+  /// given the largest finished page id `last_finished` (kInvalidPageId when
+  /// nothing is finished yet). Returns kInvalidPageId if the policy finds
+  /// none; the caller then compacts in place.
+  PageId Find(PageId last_finished, PageId current) const;
+
+  FreeSpacePolicy policy() const { return policy_; }
+
+ private:
+  DiskManager* disk_;
+  FreeSpacePolicy policy_;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_REORG_FIND_FREE_SPACE_H_

@@ -1,0 +1,159 @@
+#include "src/reorg/reorg_log.h"
+
+#include "src/util/coding.h"
+
+namespace soreorg {
+
+std::string EncodeBeginPages(const std::vector<PageId>& base_pages,
+                             const std::vector<PageId>& leaf_pages) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(base_pages.size()));
+  for (PageId p : base_pages) PutFixed32(&out, p);
+  PutVarint32(&out, static_cast<uint32_t>(leaf_pages.size()));
+  for (PageId p : leaf_pages) PutFixed32(&out, p);
+  return out;
+}
+
+Status DecodeBeginPages(const Slice& payload, std::vector<PageId>* base_pages,
+                        std::vector<PageId>* leaf_pages) {
+  Slice in = payload;
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) return Status::Corruption("begin payload");
+  base_pages->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t p;
+    if (!GetFixed32(&in, &p)) return Status::Corruption("begin payload");
+    base_pages->push_back(p);
+  }
+  if (!GetVarint32(&in, &n)) return Status::Corruption("begin payload");
+  leaf_pages->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t p;
+    if (!GetFixed32(&in, &p)) return Status::Corruption("begin payload");
+    leaf_pages->push_back(p);
+  }
+  return Status::OK();
+}
+
+std::string EncodeMovedRecords(
+    const std::vector<std::pair<std::string, std::string>>& records) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(records.size()));
+  for (const auto& [k, v] : records) {
+    PutLengthPrefixedSlice(&out, k);
+    PutLengthPrefixedSlice(&out, v);
+  }
+  return out;
+}
+
+Status DecodeMovedRecords(
+    const Slice& payload,
+    std::vector<std::pair<std::string, std::string>>* records) {
+  Slice in = payload;
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) return Status::Corruption("move payload");
+  records->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    Slice k, v;
+    if (!GetLengthPrefixedSlice(&in, &k) || !GetLengthPrefixedSlice(&in, &v)) {
+      return Status::Corruption("move payload");
+    }
+    records->emplace_back(k.ToString(), v.ToString());
+  }
+  return Status::OK();
+}
+
+std::string EncodeMovedKeys(const std::vector<std::string>& keys) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(keys.size()));
+  for (const std::string& k : keys) PutLengthPrefixedSlice(&out, k);
+  return out;
+}
+
+Status DecodeMovedKeys(const Slice& payload, std::vector<std::string>* keys) {
+  Slice in = payload;
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) return Status::Corruption("move keys payload");
+  keys->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    Slice k;
+    if (!GetLengthPrefixedSlice(&in, &k)) {
+      return Status::Corruption("move keys payload");
+    }
+    keys->push_back(k.ToString());
+  }
+  return Status::OK();
+}
+
+void ReorgTable::BeginUnit(uint32_t unit, Lsn begin_lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  state_.has_open_unit = true;
+  state_.unit = unit;
+  state_.begin_lsn = begin_lsn;
+  state_.recent_lsn = begin_lsn;
+}
+
+void ReorgTable::RecordLsn(Lsn lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  state_.recent_lsn = lsn;
+}
+
+Lsn ReorgTable::recent_lsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return state_.recent_lsn;
+}
+
+void ReorgTable::EndUnit(const Slice& largest_key) {
+  std::lock_guard<std::mutex> g(mu_);
+  state_.has_open_unit = false;
+  state_.begin_lsn = kInvalidLsn;
+  state_.recent_lsn = kInvalidLsn;
+  if (largest_key.compare(state_.largest_finished_key) > 0) {
+    state_.largest_finished_key = largest_key.ToString();
+  }
+}
+
+void ReorgTable::Clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  state_ = ReorgTableSnapshot{};
+}
+
+void ReorgTable::set_leaf_pass_active(bool b) {
+  std::lock_guard<std::mutex> g(mu_);
+  state_.leaf_pass_active = b;
+}
+
+void ReorgTable::set_pass3(bool reorg_bit, const Slice& stable_key,
+                           PageId new_root) {
+  std::lock_guard<std::mutex> g(mu_);
+  state_.reorg_bit = reorg_bit;
+  state_.stable_key = stable_key.ToString();
+  state_.new_tree_root = new_root;
+}
+
+std::string ReorgTable::largest_finished_key() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return state_.largest_finished_key;
+}
+
+bool ReorgTable::has_open_unit() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return state_.has_open_unit;
+}
+
+uint32_t ReorgTable::open_unit() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return state_.unit;
+}
+
+ReorgTableSnapshot ReorgTable::Snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return state_;
+}
+
+void ReorgTable::Restore(const ReorgTableSnapshot& snap) {
+  std::lock_guard<std::mutex> g(mu_);
+  state_ = snap;
+}
+
+}  // namespace soreorg

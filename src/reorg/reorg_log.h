@@ -1,0 +1,66 @@
+// Reorganization logging helpers and the in-memory reorganization table.
+//
+// The table is the paper's §5 structure: it holds LK (the largest key of the
+// last finished reorganization unit), and — while a unit is open — the
+// unit's id, its BEGIN record LSN and its most recent LSN. It is copied into
+// every checkpoint record so recovery can find the one possibly-incomplete
+// unit and the restart position.
+
+#ifndef SOREORG_REORG_REORG_LOG_H_
+#define SOREORG_REORG_REORG_LOG_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/storage/page.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+#include "src/wal/checkpoint.h"
+#include "src/wal/log_record.h"
+
+namespace soreorg {
+
+/// Encode/decode the BEGIN record's page lists into its payload.
+std::string EncodeBeginPages(const std::vector<PageId>& base_pages,
+                             const std::vector<PageId>& leaf_pages);
+Status DecodeBeginPages(const Slice& payload, std::vector<PageId>* base_pages,
+                        std::vector<PageId>* leaf_pages);
+
+/// MOVE record payloads. Full mode packs whole (key, value) records;
+/// keys-only mode (careful writing, §5) packs just the keys.
+std::string EncodeMovedRecords(
+    const std::vector<std::pair<std::string, std::string>>& records);
+Status DecodeMovedRecords(
+    const Slice& payload,
+    std::vector<std::pair<std::string, std::string>>* records);
+std::string EncodeMovedKeys(const std::vector<std::string>& keys);
+Status DecodeMovedKeys(const Slice& payload, std::vector<std::string>* keys);
+
+class ReorgTable {
+ public:
+  void BeginUnit(uint32_t unit, Lsn begin_lsn);
+  void RecordLsn(Lsn lsn);
+  Lsn recent_lsn() const;
+  /// Closes the open unit and advances LK.
+  void EndUnit(const Slice& largest_key);
+  void Clear();
+
+  void set_leaf_pass_active(bool b);
+  void set_pass3(bool reorg_bit, const Slice& stable_key, PageId new_root);
+
+  std::string largest_finished_key() const;
+  bool has_open_unit() const;
+  uint32_t open_unit() const;
+
+  ReorgTableSnapshot Snapshot() const;
+  void Restore(const ReorgTableSnapshot& snap);
+
+ private:
+  mutable std::mutex mu_;
+  ReorgTableSnapshot state_;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_REORG_REORG_LOG_H_

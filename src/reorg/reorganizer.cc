@@ -1,0 +1,135 @@
+#include "src/reorg/reorganizer.h"
+
+namespace soreorg {
+
+Reorganizer::Reorganizer(BTree* tree, BufferPool* bp, LogManager* log,
+                         LockManager* locks, DiskManager* disk,
+                         SideFile* side_file, ReorgTable* table,
+                         ReorganizerOptions options)
+    : options_(options), side_file_(side_file) {
+  ctx_.tree = tree;
+  ctx_.bp = bp;
+  ctx_.log = log;
+  ctx_.locks = locks;
+  ctx_.disk = disk;
+  ctx_.table = table;
+  ctx_.stats = &stats_;
+  ctx_.careful_writing = options.careful_writing;
+  compactor_ = std::make_unique<LeafCompactor>(&ctx_, options.compactor);
+  swap_pass_ =
+      std::make_unique<SwapPass>(&ctx_, compactor_.get(), options.swap);
+}
+
+Status Reorganizer::Run() {
+  Status s = RunLeafPass();
+  if (!s.ok()) return s;
+  if (options_.run_swap_pass) {
+    s = RunSwapPass();
+    if (!s.ok()) return s;
+  }
+  if (options_.run_internal_pass) {
+    s = RunInternalPass();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status Reorganizer::RunLeafPass() { return compactor_->Run(); }
+
+Status Reorganizer::RunSwapPass() { return swap_pass_->Run(); }
+
+void Reorganizer::InstallHook(TreeBuilder* builder) {
+  SideFile* side = side_file_;
+  ctx_.tree->set_base_update_hook(
+      [builder, side](Transaction* txn, BaseUpdateOp op, const Slice& key,
+                      PageId leaf, PageId base) -> Status {
+        (void)base;
+        // §7.2: under the base page's X lock, compare the key with CK.
+        if (!builder->all_read()) {
+          std::string ck = builder->CurrentKey();
+          if (key.compare(ck) >= 0) {
+            // The builder has not read this base page yet; it will pick the
+            // change up naturally.
+            return Status::OK();
+          }
+        }
+        return side->Record(txn, op, key, leaf);
+      });
+  ctx_.tree->set_base_update_cancel_hook(
+      [side](Transaction* txn, BaseUpdateOp op, const Slice& key,
+             PageId leaf) { side->Cancel(txn, op, key, leaf); });
+}
+
+Status Reorganizer::RunInternalPass(const Slice& resume_key,
+                                    PageId resume_top) {
+  TreeBuilder builder(&ctx_, side_file_, options_.builder);
+
+  // §7.2: create the side file and set the reorganization bit *before*
+  // reading begins.
+  InstallHook(&builder);
+  ctx_.tree->set_reorg_bit(true);
+  ctx_.table->set_pass3(true, resume_key, resume_top);
+
+  Status s = builder.Run(resume_key, resume_top);
+  if (!s.ok()) {
+    ctx_.tree->set_reorg_bit(false);
+    ctx_.tree->set_base_update_hook(nullptr);
+    ctx_.tree->set_base_update_cancel_hook(nullptr);
+    ctx_.table->set_pass3(false, Slice(), kInvalidPageId);
+    return s;
+  }
+
+  Switcher switcher(&ctx_, side_file_, options_.switcher);
+  s = switcher.Switch(&builder, &switch_stats_);
+  if (!s.ok()) {
+    ctx_.tree->set_reorg_bit(false);
+    ctx_.tree->set_base_update_hook(nullptr);
+    ctx_.tree->set_base_update_cancel_hook(nullptr);
+  }
+  return s;
+}
+
+Status Reorganizer::FinishIncompleteUnit(
+    const std::vector<LogRecord>& unit_records) {
+  if (unit_records.empty()) return Status::OK();
+  const LogRecord& begin = unit_records.front();
+  if (begin.type != LogType::kReorgBegin) {
+    return Status::InvalidArgument("unit records must start with BEGIN");
+  }
+  std::vector<PageId> bases, leaves;
+  Status s = DecodeBeginPages(begin.payload, &bases, &leaves);
+  if (!s.ok()) return s;
+  if (bases.empty() || leaves.empty()) {
+    return Status::Corruption("empty BEGIN page lists");
+  }
+  ctx_.table->BeginUnit(begin.unit, begin.lsn);
+  for (const LogRecord& rec : unit_records) {
+    if (rec.lsn > ctx_.table->recent_lsn()) ctx_.table->RecordLsn(rec.lsn);
+  }
+
+  switch (static_cast<ReorgUnitType>(begin.unit_type)) {
+    case ReorgUnitType::kCompact:
+    case ReorgUnitType::kMove: {
+      PageId dest = leaves.front();
+      std::vector<PageId> sources(leaves.begin() + 1, leaves.end());
+      if (sources.empty()) sources.push_back(dest);
+      s = compactor_->ExecuteUnit(begin.unit, bases.front(), sources, dest,
+                                  /*resume=*/true);
+      break;
+    }
+    case ReorgUnitType::kSwap: {
+      if (leaves.size() != 2) {
+        return Status::Corruption("swap unit without two leaves");
+      }
+      s = swap_pass_->SwapUnit(begin.unit, leaves[0], leaves[1],
+                               /*resume=*/true);
+      break;
+    }
+    case ReorgUnitType::kNone:
+      return Status::Corruption("unit with no type");
+  }
+  if (s.ok()) ++stats_.units_resumed;
+  return s;
+}
+
+}  // namespace soreorg

@@ -1,0 +1,82 @@
+// Reorganizer: the paper's on-line reorganization process, orchestrating the
+// three passes of Figure 1 as one background process (not one transaction
+// per block operation — that is the Smith '90 baseline's model):
+//
+//   pass 1  LeafCompactor  — compact sparse leaves (in-place + copy-switch)
+//   pass 2  SwapPass       — optional: swap/move leaves into disk key order
+//   pass 3  TreeBuilder    — rebuild the upper levels new-place, side file
+//           + Switcher     — catch up and switch to the new tree (§7.4)
+//
+// Also hosts Forward Recovery (§5.1): after a crash, the single
+// possibly-incomplete reorganization unit is *finished* — its locks are
+// re-acquired and the idempotent unit executor completes the remaining
+// moves, key modifications and END record — instead of being rolled back.
+
+#ifndef SOREORG_REORG_REORGANIZER_H_
+#define SOREORG_REORG_REORGANIZER_H_
+
+#include <memory>
+
+#include "src/reorg/context.h"
+#include "src/reorg/leaf_compactor.h"
+#include "src/reorg/side_file.h"
+#include "src/reorg/swap_pass.h"
+#include "src/reorg/switcher.h"
+#include "src/reorg/tree_builder.h"
+
+namespace soreorg {
+
+struct ReorganizerOptions {
+  LeafCompactorOptions compactor;
+  bool run_swap_pass = true;
+  SwapPassOptions swap;
+  bool run_internal_pass = true;
+  TreeBuilderOptions builder;
+  SwitcherOptions switcher;
+  /// §5: keys-only MOVE logging backed by buffer-pool careful writing.
+  bool careful_writing = true;
+};
+
+class Reorganizer {
+ public:
+  Reorganizer(BTree* tree, BufferPool* bp, LogManager* log, LockManager* locks,
+              DiskManager* disk, SideFile* side_file, ReorgTable* table,
+              ReorganizerOptions options);
+
+  /// All passes, in order (pass 2 and 3 subject to the options).
+  Status Run();
+
+  Status RunLeafPass();
+  Status RunSwapPass();
+  /// Pass 3 including the switch. `resume_key`/`resume_top` restart a
+  /// build interrupted by a crash (§7.3).
+  Status RunInternalPass(const Slice& resume_key = Slice(),
+                         PageId resume_top = kInvalidPageId);
+
+  /// Forward Recovery (§5.1): finish the incomplete unit described by its
+  /// WAL records (BEGIN first). Locks are re-acquired; already-redone work
+  /// is skipped by the idempotent executors.
+  Status FinishIncompleteUnit(const std::vector<LogRecord>& unit_records);
+
+  const ReorgStats& stats() const { return stats_; }
+  const SwitchStats& switch_stats() const { return switch_stats_; }
+  ReorgContext* context() { return &ctx_; }
+  ReorganizerOptions* options() { return &options_; }
+
+ private:
+  /// Install the §7.2 base-update hook that consults CK and records side
+  /// entries.
+  void InstallHook(TreeBuilder* builder);
+
+  ReorganizerOptions options_;
+  ReorgStats stats_;
+  SwitchStats switch_stats_;
+  ReorgContext ctx_;
+  SideFile* side_file_;
+  std::unique_ptr<LeafCompactor> compactor_;
+  std::unique_ptr<SwapPass> swap_pass_;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_REORG_REORGANIZER_H_

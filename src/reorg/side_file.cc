@@ -1,0 +1,209 @@
+#include "src/reorg/side_file.h"
+
+#include "src/util/coding.h"
+
+namespace soreorg {
+
+SideFile::SideFile(LockManager* locks, LogManager* log)
+    : locks_(locks), log_(log) {}
+
+Status SideFile::Record(Transaction* txn, BaseUpdateOp op, const Slice& key,
+                        PageId leaf) {
+  // IX on the table; held to end of transaction (the lock manager releases
+  // it at commit/abort via ReleaseAll).
+  Status s = locks_->TryLock(txn->id(), SideFileLock(), LockMode::kIX);
+  if (!s.ok()) {
+    // The switcher holds (or is converting to) X: wait it out with an
+    // instant-duration IX, then tell the caller to retry on the new tree.
+    s = locks_->LockInstant(txn->id(), SideFileLock(), LockMode::kIX);
+    if (!s.ok()) return s;
+    return Status::Busy("switch completed; retry on new tree");
+  }
+  s = locks_->Lock(txn->id(), SideKeyLock(key.ToString()), LockMode::kX);
+  if (!s.ok()) return s;
+
+  LogRecord rec;
+  rec.type = LogType::kSideInsert;
+  rec.txn_id = txn->id();
+  rec.prev_lsn = txn->last_lsn();
+  rec.unit_type = static_cast<uint8_t>(op);
+  rec.key = key.ToString();
+  rec.page_id = leaf;
+  s = log_->Append(&rec);
+  if (!s.ok()) return s;
+  txn->set_last_lsn(rec.lsn);
+
+  std::lock_guard<std::mutex> g(mu_);
+  entries_.push_back(SideEntry{op, key.ToString(), leaf});
+  ++total_recorded_;
+  return Status::OK();
+}
+
+Status SideFile::PopFront(SideEntry* entry, bool* empty) {
+  SideEntry e;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 64) return Status::Busy("side-file front kept changing");
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (entries_.empty()) {
+        *empty = true;
+        return Status::OK();
+      }
+      e = entries_.front();
+    }
+    // Wait out the recording transaction: it holds an X record lock on the
+    // entry's key until commit/abort, and may still cancel the entry.
+    Status ls = locks_->Lock(kReorgTxnId, SideKeyLock(e.key), LockMode::kX);
+    if (!ls.ok()) return ls;  // deadlock victim: caller retries
+    locks_->Unlock(kReorgTxnId, SideKeyLock(e.key));
+    std::lock_guard<std::mutex> g(mu_);
+    if (entries_.empty()) {
+      *empty = true;
+      return Status::OK();
+    }
+    // The front may have been cancelled while we waited; re-verify under
+    // the freshly observed front.
+    if (entries_.front().key != e.key || entries_.front().op != e.op ||
+        entries_.front().leaf != e.leaf) {
+      continue;
+    }
+    entries_.pop_front();
+    break;
+  }
+  *empty = false;
+  *entry = e;
+  LogRecord rec;
+  rec.type = LogType::kSideApply;
+  rec.txn_id = kReorgTxnId;
+  rec.unit_type = static_cast<uint8_t>(e.op);
+  rec.key = e.key;
+  rec.page_id = e.leaf;
+  Status s = log_->Append(&rec);
+  if (!s.ok()) return s;
+  return Status::OK();
+}
+
+Status SideFile::Cancel(Transaction* txn, BaseUpdateOp op, const Slice& key,
+                        PageId leaf) {
+  bool removed = false;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->op == op && it->key == key.view() && it->leaf == leaf) {
+        entries_.erase(std::next(it).base());
+        removed = true;
+        break;
+      }
+    }
+  }
+  if (!removed) return Status::OK();
+  LogRecord rec;
+  rec.type = LogType::kSideCancel;
+  rec.txn_id = txn->id();
+  rec.prev_lsn = txn->last_lsn();
+  rec.unit_type = static_cast<uint8_t>(op);
+  rec.key = key.ToString();
+  rec.page_id = leaf;
+  Status s = log_->Append(&rec);
+  if (!s.ok()) return s;
+  txn->set_last_lsn(rec.lsn);
+  return Status::OK();
+}
+
+void SideFile::RedoCancel(BaseUpdateOp op, const Slice& key, PageId leaf) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->op == op && it->key == key.view() && it->leaf == leaf) {
+      entries_.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void SideFile::ReAdd(BaseUpdateOp op, const Slice& key, PageId leaf) {
+  std::lock_guard<std::mutex> g(mu_);
+  entries_.push_back(SideEntry{op, key.ToString(), leaf});
+}
+
+void SideFile::UndoInsert(BaseUpdateOp op, const Slice& key) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->op == op && it->key == key.view()) {
+      entries_.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+size_t SideFile::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return entries_.size();
+}
+
+uint64_t SideFile::total_recorded() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return total_recorded_;
+}
+
+void SideFile::Clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  entries_.clear();
+}
+
+std::string SideFile::Serialize() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(entries_.size()));
+  for (const SideEntry& e : entries_) {
+    out.push_back(static_cast<char>(e.op));
+    PutLengthPrefixedSlice(&out, e.key);
+    PutFixed32(&out, e.leaf);
+  }
+  return out;
+}
+
+Status SideFile::Restore(const Slice& image) {
+  Slice in = image;
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) return Status::Corruption("side file image");
+  std::deque<SideEntry> entries;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (in.empty()) return Status::Corruption("side file image");
+    SideEntry e;
+    e.op = static_cast<BaseUpdateOp>(in[0]);
+    in.remove_prefix(1);
+    Slice k;
+    if (!GetLengthPrefixedSlice(&in, &k)) {
+      return Status::Corruption("side file image");
+    }
+    e.key = k.ToString();
+    uint32_t pid;
+    if (!GetFixed32(&in, &pid)) return Status::Corruption("side file image");
+    e.leaf = pid;
+    entries.push_back(std::move(e));
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  entries_ = std::move(entries);
+  return Status::OK();
+}
+
+void SideFile::RedoInsert(BaseUpdateOp op, const Slice& key, PageId leaf) {
+  std::lock_guard<std::mutex> g(mu_);
+  entries_.push_back(SideEntry{op, key.ToString(), leaf});
+}
+
+void SideFile::RedoApply() {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!entries_.empty()) entries_.pop_front();
+}
+
+void SideFile::PruneBeyond(const Slice& stable_key) {
+  std::lock_guard<std::mutex> g(mu_);
+  std::deque<SideEntry> kept;
+  for (const SideEntry& e : entries_) {
+    if (Slice(e.key).compare(stable_key) <= 0) kept.push_back(e);
+  }
+  entries_ = std::move(kept);
+}
+
+}  // namespace soreorg

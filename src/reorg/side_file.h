@@ -1,0 +1,97 @@
+// SideFile (§7.2): the append-only system table that absorbs base-page
+// updates made by user transactions while pass 3 rebuilds the upper levels.
+//
+// Concurrency follows the paper: an updater that needs to record an entry
+// holds an IX lock on the side-file table (kept to end of transaction, which
+// is what lets the switcher's X lock drain all in-flight updaters) and an X
+// lock on the entry key. If the IX lock is unavailable the switch is in
+// progress: the updater waits it out with an *instant-duration* IX request
+// and then retries its operation against the new tree (MaybeRecord returns
+// kBusy).
+//
+// Durability: every insertion is logged under the inserting transaction
+// (kSideInsert); applications by the reorganizer are logged as kSideApply.
+// The full entry list is also serialized into each checkpoint, and recovery
+// prunes entries whose key lies beyond the most recent stable key (§7.3) —
+// the builder will re-read those base pages anyway.
+
+#ifndef SOREORG_REORG_SIDE_FILE_H_
+#define SOREORG_REORG_SIDE_FILE_H_
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/btree/btree.h"
+#include "src/txn/lock_manager.h"
+#include "src/util/status.h"
+#include "src/wal/log_manager.h"
+
+namespace soreorg {
+
+struct SideEntry {
+  BaseUpdateOp op;
+  std::string key;
+  PageId leaf = kInvalidPageId;
+};
+
+class SideFile {
+ public:
+  SideFile(LockManager* locks, LogManager* log);
+
+  /// Record a base-page change from a user transaction (already holding the
+  /// base page X lock). Returns kBusy if the switch completed while waiting,
+  /// in which case the caller retries its update against the new tree.
+  Status Record(Transaction* txn, BaseUpdateOp op, const Slice& key,
+                PageId leaf);
+
+  /// Remove one entry (FIFO) for the reorganizer to apply; logs kSideApply.
+  /// Sets *empty when nothing was pending. Acquires (and releases) the
+  /// entry's record lock under the reorganizer id first, so an entry whose
+  /// recording transaction is still in flight — and might still cancel it —
+  /// is not consumed early (§7.2 record-level locking).
+  Status PopFront(SideEntry* entry, bool* empty);
+
+  /// Compensate a recorded entry whose structure modification failed and
+  /// will be retried or abandoned: drop the newest matching entry and log
+  /// kSideCancel under the transaction's chain. No-op if nothing matches
+  /// (the hook may not have recorded anything).
+  Status Cancel(Transaction* txn, BaseUpdateOp op, const Slice& key,
+                PageId leaf);
+
+  /// Undo of a kSideInsert (user transaction rollback): drop the newest
+  /// matching entry.
+  void UndoInsert(BaseUpdateOp op, const Slice& key);
+
+  size_t size() const;
+  uint64_t total_recorded() const;
+  void Clear();
+
+  /// Checkpoint/restart support.
+  std::string Serialize() const;
+  Status Restore(const Slice& image);
+  /// Re-apply a logged insertion during recovery redo.
+  void RedoInsert(BaseUpdateOp op, const Slice& key, PageId leaf);
+  /// Drop one entry during recovery redo of kSideApply.
+  void RedoApply();
+  /// Drop the newest matching entry during recovery redo of kSideCancel.
+  void RedoCancel(BaseUpdateOp op, const Slice& key, PageId leaf);
+  /// Re-add an entry (undo of kSideCancel during loser rollback).
+  void ReAdd(BaseUpdateOp op, const Slice& key, PageId leaf);
+  /// §7.3: entries past the most recent stable key will be re-read by the
+  /// restarted builder — drop them.
+  void PruneBeyond(const Slice& stable_key);
+
+ private:
+  LockManager* locks_;
+  LogManager* log_;
+
+  mutable std::mutex mu_;
+  std::deque<SideEntry> entries_;
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_REORG_SIDE_FILE_H_

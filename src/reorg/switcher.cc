@@ -1,0 +1,98 @@
+#include "src/reorg/switcher.h"
+
+#include <chrono>
+
+namespace soreorg {
+
+Switcher::Switcher(ReorgContext* ctx, SideFile* side_file,
+                   SwitcherOptions options)
+    : ctx_(ctx), side_file_(side_file), options_(options) {}
+
+Status Switcher::Switch(TreeBuilder* builder, SwitchStats* stats) {
+  const TxnId id = kReorgTxnId;
+  LockManager* locks = ctx_->locks;
+  BTree* tree = ctx_->tree;
+  auto t0 = std::chrono::steady_clock::now();
+
+  // 1. X lock the side file: blocks new base-page updates on either tree
+  // and waits out every transaction holding a side-file IX lock. The
+  // reorganizer always loses deadlocks (§4.1), so retry until granted.
+  Status s;
+  for (int attempt = 0;; ++attempt) {
+    s = locks->Lock(id, SideFileLock(), LockMode::kX);
+    if (s.ok()) break;
+    if ((s.IsDeadlock() || s.IsBusy()) && attempt < 1024) continue;
+    return s;
+  }
+  auto unlock_side = [&]() { locks->Unlock(id, SideFileLock()); };
+
+  // 2. Final catch-up under the X lock.
+  uint64_t before = ctx_->stats->side_entries_applied;
+  s = builder->DrainSideFile();
+  if (!s.ok()) {
+    unlock_side();
+    return s;
+  }
+  stats->final_catchup_entries = ctx_->stats->side_entries_applied - before;
+
+  // 3. Flip the root pointer; the new tree gets a new lock name.
+  uint64_t old_inc = tree->incarnation();
+  PageId old_root = tree->root();
+  BTree* new_tree = builder->new_tree();
+  s = tree->SwitchRoot(new_tree->root(), new_tree->height(), old_inc + 1);
+  if (!s.ok()) {
+    unlock_side();
+    return s;
+  }
+
+  // 4. Drain transactions still using the old tree: X on the old tree lock.
+  // We keep the side-file X lock until this succeeds, because base-page
+  // updates on the new tree would make the old tree's leaf addresses
+  // obsolete for in-flight old-tree searches (§7.4).
+  for (int round = 0; round < options_.max_wait_rounds; ++round) {
+    s = locks->Lock(id, TreeLock(old_inc), LockMode::kX,
+                    options_.old_tree_timeout_ms);
+    if (s.ok()) break;
+    if (!s.IsTimedOut() && !s.IsDeadlock()) {
+      unlock_side();
+      return s;
+    }
+    ++stats->old_tree_wait_rounds;
+  }
+  if (!s.ok()) {
+    unlock_side();
+    return Status::TimedOut("old-tree transactions did not drain");
+  }
+
+  // 5. Discard the old upper levels and reclaim the space.
+  std::vector<PageId> old_internals;
+  s = tree->CollectInternalPages(old_root, &old_internals);
+  if (s.ok()) {
+    for (PageId p : old_internals) {
+      LogRecord de;
+      de.type = LogType::kDeallocPage;
+      de.txn_id = id;
+      de.page_id = p;
+      ctx_->log->Append(&de);
+      ctx_->bp->DeletePage(p);
+      ++stats->old_pages_discarded;
+    }
+    ctx_->log->Flush();
+  }
+
+  // 6. Clear the reorganization bit and release everything.
+  tree->set_reorg_bit(false);
+  tree->set_base_update_hook(nullptr);
+  tree->set_base_update_cancel_hook(nullptr);
+  ctx_->table->set_pass3(false, Slice(), kInvalidPageId);
+  locks->Unlock(id, TreeLock(old_inc));
+  unlock_side();
+
+  stats->switch_window_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return Status::OK();
+}
+
+}  // namespace soreorg

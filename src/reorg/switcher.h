@@ -1,0 +1,57 @@
+// Switcher (§7.4): the first detailed published protocol for switching from
+// the old B+-tree to the new one.
+//
+//   1. X-lock the side file. Updaters hold their side-file IX locks to end
+//      of transaction, so this drains every in-flight base-page updater.
+//   2. Final catch-up: apply the few side-file entries recorded while
+//      waiting for the X lock.
+//   3. Flip the root pointer (kTreeSwitch, flushed) and give the new tree a
+//      fresh lock name (incarnation). New operations now use the new tree.
+//   4. Still holding the side-file X lock, request an X lock on the *old*
+//      tree's lock name: since every transaction that was using the old
+//      tree holds IS/IX on it, granting means they have all finished.
+//      The wait is bounded by `old_tree_timeout_ms`; on timeout the switch
+//      simply keeps waiting in a loop (the paper's alternative — forcibly
+//      aborting stragglers — is reported in stats instead of enforced).
+//   5. Discard the old tree's upper levels (all its internal pages; leaves
+//      are shared with the new tree) and reclaim their space.
+//   6. Clear the reorganization bit, drop the hook, release all locks.
+
+#ifndef SOREORG_REORG_SWITCHER_H_
+#define SOREORG_REORG_SWITCHER_H_
+
+#include "src/reorg/context.h"
+#include "src/reorg/side_file.h"
+#include "src/reorg/tree_builder.h"
+
+namespace soreorg {
+
+struct SwitcherOptions {
+  /// Per-attempt bound on the old-tree X-lock wait (§7.4's time limit).
+  int64_t old_tree_timeout_ms = 2000;
+  int max_wait_rounds = 30;
+};
+
+struct SwitchStats {
+  uint64_t final_catchup_entries = 0;
+  uint64_t old_pages_discarded = 0;
+  uint64_t old_tree_wait_rounds = 0;
+  /// Wall-clock nanoseconds updaters were blocked by the side-file X lock.
+  uint64_t switch_window_ns = 0;
+};
+
+class Switcher {
+ public:
+  Switcher(ReorgContext* ctx, SideFile* side_file, SwitcherOptions options);
+
+  Status Switch(TreeBuilder* builder, SwitchStats* stats);
+
+ private:
+  ReorgContext* ctx_;
+  SideFile* side_file_;
+  SwitcherOptions options_;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_REORG_SWITCHER_H_

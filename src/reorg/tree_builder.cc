@@ -1,0 +1,222 @@
+#include "src/reorg/tree_builder.h"
+
+#include <chrono>
+#include <thread>
+
+namespace soreorg {
+
+TreeBuilder::TreeBuilder(ReorgContext* ctx, SideFile* side_file,
+                         TreeBuilderOptions options)
+    : ctx_(ctx),
+      side_file_(side_file),
+      options_(options),
+      builder_(ctx->bp, options.internal_fill) {}
+
+std::string TreeBuilder::CurrentKey() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return current_key_;
+}
+
+bool TreeBuilder::all_read() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return all_read_;
+}
+
+Status TreeBuilder::ReadBasePage(PageId pid) {
+  // One S lock at a time (§7.5) — this is what keeps readers flowing and
+  // blocks only updaters that would change this very base page.
+  Status s = ctx_->locks->Lock(kReorgTxnId, PageLock(pid), LockMode::kS);
+  if (s.IsDeadlock()) return Status::Busy("base page lock lost; re-find");
+  if (!s.ok()) return s;
+  Page* page;
+  s = ctx_->bp->FetchPage(pid, &page);
+  if (!s.ok()) {
+    ctx_->locks->Unlock(kReorgTxnId, PageLock(pid));
+    return s;
+  }
+  std::vector<std::pair<std::string, PageId>> entries;
+  std::string low_mark;
+  {
+    std::shared_lock<std::shared_mutex> latch(page->latch());
+    if (page->type() != PageType::kInternal || page->level() != 1) {
+      ctx_->bp->UnpinPage(pid, false);
+      ctx_->locks->Unlock(kReorgTxnId, PageLock(pid));
+      return Status::Busy("base page changed type");
+    }
+    InternalNode node(page);
+    low_mark = node.LowMark().ToString();
+    for (int i = 0; i < node.Count(); ++i) {
+      entries.emplace_back(node.KeyAt(i).ToString(), node.ChildAt(i));
+    }
+  }
+  ctx_->bp->UnpinPage(pid, false);
+
+  size_t created_before = builder_.created_pages().size();
+  for (const auto& [sep, child] : entries) {
+    s = builder_.Add(sep, child);
+    if (!s.ok()) {
+      ctx_->locks->Unlock(kReorgTxnId, PageLock(pid));
+      return s;
+    }
+  }
+  // Log allocations of new internal pages (§7.3: "space allocation ... is
+  // also logged"; allocations after the last force-write are reclaimed at
+  // recovery).
+  for (size_t i = created_before; i < builder_.created_pages().size(); ++i) {
+    LogRecord alloc;
+    alloc.type = LogType::kAllocPage;
+    alloc.txn_id = kReorgTxnId;
+    alloc.page_id = builder_.created_pages()[i];
+    alloc.flags = 1;  // pass-3 allocation (reclaimable past the stable key)
+    ctx_->log->Append(&alloc);
+    ++pages_since_stable_;
+  }
+
+  // Advance CK to Get_Next(CK) *before* giving up the S lock (§7.1).
+  std::string next_lm;
+  PageId next_pid;
+  Status next = ctx_->tree->NextBasePage(kReorgTxnId, low_mark, &next_lm,
+                                         &next_pid);
+  if (next.IsDeadlock() || next.IsBusy()) {
+    // The reorganizer lost a deadlock against an updater's X-coupled
+    // descent. Release this base page's S lock (the updater proceeds) and
+    // have the caller re-find and RE-READ the page by CK: updates made
+    // while unlocked have keys >= CK, and the builder skips duplicates, so
+    // the re-read is safe and complete.
+    ctx_->locks->Unlock(kReorgTxnId, PageLock(pid));
+    return Status::Busy("Get_Next lost a deadlock; re-read the page");
+  }
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (next.ok()) {
+      current_key_ = next_lm;
+    } else {
+      all_read_ = true;
+    }
+  }
+  ctx_->locks->Unlock(kReorgTxnId, PageLock(pid));
+
+  if (options_.base_page_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.base_page_delay_ms));
+  }
+
+  if (pages_since_stable_ >= options_.stable_every) {
+    s = StablePoint();
+    if (!s.ok()) return s;
+  }
+
+  if (next.IsNotFound()) return Status::NotFound("all base pages read");
+  if (!next.ok()) return next;
+  // Tail-call into the next page is done by the caller loop.
+  next_base_ = next_pid;
+  return Status::OK();
+}
+
+Status TreeBuilder::StablePoint() {
+  std::vector<PageId> force = builder_.TakeCompletedPages();
+  for (PageId p : builder_.OpenPages()) force.push_back(p);
+  Status s = ctx_->bp->ForcePages(force);
+  if (!s.ok()) return s;
+
+  LogRecord rec;
+  rec.type = LogType::kStableKey;
+  rec.txn_id = kReorgTxnId;
+  rec.key = CurrentKey();
+  rec.page_id = builder_.TopPage();
+  s = ctx_->log->AppendAndFlush(&rec);
+  if (!s.ok()) return s;
+
+  ctx_->table->set_pass3(true, rec.key, builder_.TopPage());
+  pages_since_stable_ = 0;
+  ++ctx_->stats->stable_points;
+  return Status::OK();
+}
+
+Status TreeBuilder::Run(const Slice& resume_key, PageId resume_top) {
+  // Re-reads of a base page (deadlock back-off, crash resume) must be
+  // idempotent.
+  builder_.set_skip_duplicates(true);
+  Status s;
+  PageId start_pid;
+  if (resume_top != kInvalidPageId && !resume_key.empty()) {
+    // §7.3 restart: rebuild builder state from the durable partial tree and
+    // continue reading at the stable key.
+    s = builder_.RestoreSpine(resume_top, resume_key);
+    if (!s.ok()) return s;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      current_key_ = resume_key.ToString();
+    }
+    PageGuard guard;
+    s = ctx_->tree->LockBasePage(kReorgTxnId, resume_key, LockMode::kS,
+                                 &start_pid, &guard);
+    if (!s.ok()) return s;
+    guard.Release();
+    ctx_->locks->Unlock(kReorgTxnId, PageLock(start_pid));
+  } else {
+    std::string lm;
+    s = ctx_->tree->FirstBasePage(kReorgTxnId, &lm, &start_pid);
+    if (!s.ok()) return s;
+    std::lock_guard<std::mutex> g(mu_);
+    current_key_ = lm;
+  }
+
+  PageId pid = start_pid;
+  while (true) {
+    next_base_ = kInvalidPageId;
+    s = ReadBasePage(pid);
+    if (s.IsNotFound()) break;  // all read
+    if (s.IsBusy() || s.IsDeadlock()) {
+      // The page changed under us (it split), or Get_Next backed off a
+      // deadlock: re-find the page by CK and re-read it.
+      PageGuard guard;
+      Status f = ctx_->tree->LockBasePage(kReorgTxnId, CurrentKey(),
+                                          LockMode::kS, &pid, &guard);
+      if (f.IsDeadlock() || f.IsBusy()) continue;
+      if (!f.ok()) return f;
+      guard.Release();
+      ctx_->locks->Unlock(kReorgTxnId, PageLock(pid));
+      continue;
+    }
+    if (!s.ok()) return s;
+    pid = next_base_;
+  }
+
+  // Close the build.
+  PageId new_root;
+  uint8_t new_height;
+  s = builder_.Finish(&new_root, &new_height);
+  if (!s.ok()) return s;
+  s = StablePoint();  // final force + stable key
+  if (!s.ok()) return s;
+
+  new_tree_ = std::make_unique<BTree>(ctx_->bp, ctx_->log, ctx_->locks,
+                                      ctx_->tree->options());
+  new_tree_->Attach(new_root, new_height, ctx_->tree->incarnation() + 1);
+
+  // Catch-up: apply side-file entries until it drains (§7.1 end).
+  return DrainSideFile();
+}
+
+Status TreeBuilder::DrainSideFile() {
+  int deadlock_retries = 0;
+  while (true) {
+    SideEntry entry;
+    bool empty = false;
+    Status s = side_file_->PopFront(&entry, &empty);
+    if (s.IsDeadlock() || s.IsBusy()) {
+      // The reorganizer always loses deadlocks (§4.1): back off briefly and
+      // keep draining.
+      if (++deadlock_retries > 1024) return s;
+      continue;
+    }
+    if (!s.ok()) return s;
+    if (empty) return Status::OK();
+    s = new_tree_->BaseApply(&reorg_txn_, entry.op, entry.key, entry.leaf);
+    if (!s.ok() && !s.IsNotFound()) return s;
+    ++ctx_->stats->side_entries_applied;
+  }
+}
+
+}  // namespace soreorg

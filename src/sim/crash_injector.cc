@@ -1,0 +1,36 @@
+#include "src/sim/crash_injector.h"
+
+namespace soreorg {
+
+void CrashInjector::ArmAfterOps(int n, std::string file_suffix,
+                                std::string op_filter) {
+  fired_.store(false);
+  remaining_.store(n);
+  env_->set_write_observer(
+      [this, file_suffix = std::move(file_suffix),
+       op_filter = std::move(op_filter)](const std::string& name,
+                                         const char* op, size_t) -> bool {
+        if (!file_suffix.empty() &&
+            (name.size() < file_suffix.size() ||
+             name.compare(name.size() - file_suffix.size(),
+                          file_suffix.size(), file_suffix) != 0)) {
+          return true;
+        }
+        if (!op_filter.empty() && op_filter != op) return true;
+        observed_.fetch_add(1);
+        int r = remaining_.load();
+        if (r < 0) return true;  // counting only
+        if (remaining_.fetch_sub(1) == 1) {
+          fired_.store(true);
+          return false;  // fail this operation: the system has "crashed"
+        }
+        return true;
+      });
+}
+
+void CrashInjector::Disarm() {
+  remaining_.store(-1);
+  env_->set_write_observer(nullptr);
+}
+
+}  // namespace soreorg

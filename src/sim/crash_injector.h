@@ -1,0 +1,47 @@
+// CrashInjector: deterministic "system failure" for recovery tests and the
+// forward-recovery experiments. Arms a MemEnv write observer that fails the
+// N-th matching operation; everything un-synced at that moment is lost when
+// the test then calls MemEnv::Crash() (the paper's failure model).
+
+#ifndef SOREORG_SIM_CRASH_INJECTOR_H_
+#define SOREORG_SIM_CRASH_INJECTOR_H_
+
+#include <atomic>
+#include <string>
+
+#include "src/storage/env.h"
+
+namespace soreorg {
+
+class CrashInjector {
+ public:
+  explicit CrashInjector(MemEnv* env) : env_(env) {}
+
+  /// Crash on the n-th (1-based) write/append/sync whose file name ends
+  /// with `file_suffix` ("" = any file). op_filter: "" = any op, else one of
+  /// "write", "append", "sync".
+  void ArmAfterOps(int n, std::string file_suffix = "",
+                   std::string op_filter = "");
+
+  /// Stop injecting (keeps counters).
+  void Disarm();
+
+  /// True once the armed fault has fired.
+  bool fired() const { return fired_.load(); }
+
+  /// Matching operations observed so far (armed or not). Useful to size a
+  /// crash-point sweep: run once disarmed, read the count, then crash at
+  /// each i in [1, count].
+  uint64_t observed() const { return observed_.load(); }
+  void ResetObserved() { observed_.store(0); }
+
+ private:
+  MemEnv* env_;
+  std::atomic<int> remaining_{-1};
+  std::atomic<bool> fired_{false};
+  std::atomic<uint64_t> observed_{0};
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_SIM_CRASH_INJECTOR_H_

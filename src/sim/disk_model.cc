@@ -1,0 +1,56 @@
+#include "src/sim/disk_model.h"
+
+#include <chrono>
+#include <thread>
+
+namespace soreorg {
+
+void DiskModel::Attach(DiskManager* disk) {
+  disk->set_io_observer(
+      [this](PageId pid, bool is_write) { OnAccess(pid, is_write); });
+}
+
+void DiskModel::OnAccess(PageId page_id, bool is_write) {
+  double cost_for_stall = 0.0;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+  ++stats_.accesses;
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  double cost = options_.transfer_ms;
+  if (last_ != kInvalidPageId && page_id == last_ + 1) {
+    ++stats_.sequential;
+  } else if (last_ != kInvalidPageId &&
+             (page_id > last_ ? page_id - last_ : last_ - page_id) <=
+                 options_.near_threshold) {
+    ++stats_.near;
+    cost += options_.short_seek_ms;
+  } else {
+    ++stats_.random;
+    cost += options_.seek_ms + options_.half_rotation_ms;
+  }
+  stats_.total_ms += cost;
+  last_ = page_id;
+  cost_for_stall = cost;
+  }
+  if (realtime_scale_ > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        cost_for_stall * realtime_scale_));
+  }
+}
+
+DiskModelStats DiskModel::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+void DiskModel::Reset() {
+  std::lock_guard<std::mutex> g(mu_);
+  stats_ = DiskModelStats{};
+  last_ = kInvalidPageId;
+}
+
+}  // namespace soreorg

@@ -1,0 +1,205 @@
+#include "src/sim/workload.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/util/coding.h"
+
+namespace soreorg {
+
+std::vector<std::pair<std::string, std::string>> MakeRecords(
+    uint64_t n, size_t value_size, uint64_t key_stride, uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string value(value_size, '\0');
+    for (size_t j = 0; j < value_size; ++j) {
+      value[j] = static_cast<char>('a' + rng.Uniform(26));
+    }
+    out.emplace_back(EncodeU64Key(i * key_stride), std::move(value));
+  }
+  return out;
+}
+
+Status LoadSparseTree(Database* db, uint64_t n, size_t value_size, double f1,
+                      uint64_t key_stride, uint64_t seed) {
+  auto records = MakeRecords(n, value_size, key_stride, seed);
+  return db->BulkLoad(records, f1);
+}
+
+Status SparsifyByDeletion(Database* db, uint64_t n, size_t value_size,
+                          double dense_fill, double delete_fraction,
+                          uint64_t key_stride, uint64_t seed,
+                          std::vector<uint64_t>* surviving_keys) {
+  auto records = MakeRecords(n, value_size, key_stride, seed);
+  Status s = db->BulkLoad(records, dense_fill);
+  if (!s.ok()) return s;
+
+  Random rng(seed + 1);
+  std::vector<uint64_t> survivors;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(delete_fraction)) {
+      s = db->Delete(EncodeU64Key(i * key_stride));
+      if (!s.ok() && !s.IsNotFound()) return s;
+    } else {
+      survivors.push_back(i * key_stride);
+    }
+  }
+  if (surviving_keys != nullptr) *surviving_keys = std::move(survivors);
+  // Settle the aged database: make the freed pages durable so they are
+  // genuinely free (later splits and the reorganizer's Find-Free-Space see
+  // the holes deletion created).
+  return db->buffer_pool()->FlushAndSync();
+}
+
+Status AgeDatabase(Database* db, const AgingOptions& options,
+                   std::vector<uint64_t>* surviving_keys) {
+  auto records =
+      MakeRecords(options.n, options.value_size, options.key_stride,
+                  options.seed);
+  Status s = db->BulkLoad(records, 0.95);
+  if (!s.ok()) return s;
+  Random rng(options.seed + 1);
+  std::vector<bool> alive(options.n, true);
+  uint64_t live = options.n;
+
+  // Clustered deletions: runs of ~150 slots (~3 leaves at 64-byte values).
+  uint64_t cluster_target = static_cast<uint64_t>(
+      static_cast<double>(options.n) * (1.0 - options.cluster_delete_frac));
+  while (live > cluster_target) {
+    uint64_t start = rng.Uniform(options.n);
+    for (uint64_t i = start; i < std::min(start + 150, options.n); ++i) {
+      if (!alive[i]) continue;
+      s = db->Delete(EncodeU64Key(i * options.key_stride));
+      if (!s.ok() && !s.IsNotFound()) return s;
+      alive[i] = false;
+      --live;
+    }
+  }
+  // Scattered deletions.
+  uint64_t random_target = static_cast<uint64_t>(
+      static_cast<double>(cluster_target) *
+      (1.0 - options.random_delete_frac));
+  while (live > random_target) {
+    uint64_t i = rng.Uniform(options.n);
+    if (!alive[i]) continue;
+    s = db->Delete(EncodeU64Key(i * options.key_stride));
+    if (!s.ok() && !s.IsNotFound()) return s;
+    alive[i] = false;
+    --live;
+  }
+  // Settle: the emptied pages become genuinely free.
+  s = db->buffer_pool()->FlushAndSync();
+  if (!s.ok()) return s;
+
+  // Insert churn: splits reuse the freed holes, degrading disk order.
+  std::vector<std::pair<uint64_t, bool>> extras;
+  for (uint64_t c = 0; c < options.churn_inserts; ++c) {
+    uint64_t slot = rng.Uniform(options.n);
+    uint64_t key = slot * options.key_stride + 1 + rng.Uniform(7);
+    s = db->Put(EncodeU64Key(key), std::string(options.value_size, 'c'));
+    if (s.ok()) extras.emplace_back(key, true);
+    else if (!s.IsInvalidArgument()) return s;
+  }
+
+  if (surviving_keys != nullptr) {
+    surviving_keys->clear();
+    for (uint64_t i = 0; i < options.n; ++i) {
+      if (alive[i]) surviving_keys->push_back(i * options.key_stride);
+    }
+    for (const auto& [k, ok] : extras) surviving_keys->push_back(k);
+    std::sort(surviving_keys->begin(), surviving_keys->end());
+    surviving_keys->erase(
+        std::unique(surviving_keys->begin(), surviving_keys->end()),
+        surviving_keys->end());
+  }
+  return Status::OK();
+}
+
+ConcurrentDriver::ConcurrentDriver(Database* db, DriverOptions options)
+    : db_(db), options_(options), per_thread_(options.threads) {}
+
+ConcurrentDriver::~ConcurrentDriver() { Stop(); }
+
+void ConcurrentDriver::Start() {
+  running_.store(true);
+  for (int i = 0; i < options_.threads; ++i) {
+    threads_.emplace_back([this, i]() { ThreadMain(i); });
+  }
+}
+
+void ConcurrentDriver::Stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+DriverStats ConcurrentDriver::stats() const {
+  DriverStats total;
+  for (const DriverStats& s : per_thread_) {
+    total.ops += s.ops;
+    total.reads += s.reads;
+    total.inserts += s.inserts;
+    total.deletes += s.deletes;
+    total.scans += s.scans;
+    total.failures += s.failures;
+    total.total_latency_ns += s.total_latency_ns;
+    total.max_latency_ns = std::max(total.max_latency_ns, s.max_latency_ns);
+  }
+  return total;
+}
+
+void ConcurrentDriver::ThreadMain(int idx) {
+  Random rng(options_.seed + static_cast<uint64_t>(idx) * 7919);
+  DriverStats& st = per_thread_[idx];
+  const uint64_t max_slot = options_.key_space;
+
+  while (running_.load(std::memory_order_relaxed)) {
+    double dice = static_cast<double>(rng.Uniform(10000)) / 10000.0;
+    uint64_t slot = rng.Uniform(max_slot);
+    std::string key = EncodeU64Key(slot * options_.key_stride);
+
+    auto t0 = std::chrono::steady_clock::now();
+    Status s;
+    if (dice < options_.read_fraction) {
+      std::string value;
+      s = db_->Get(key, &value);
+      ++st.reads;
+      if (!s.ok() && !s.IsNotFound()) ++st.failures;
+    } else if (dice < options_.read_fraction + options_.insert_fraction) {
+      // Insert between existing slots so it always lands in a live range.
+      std::string ikey =
+          EncodeU64Key(slot * options_.key_stride + 1 + rng.Uniform(7));
+      std::string value(options_.value_size, 'x');
+      s = db_->Put(ikey, value);
+      ++st.inserts;
+      if (!s.ok() && !s.IsInvalidArgument()) ++st.failures;
+    } else if (dice < options_.read_fraction + options_.insert_fraction +
+                          options_.delete_fraction) {
+      s = db_->Delete(key);
+      ++st.deletes;
+      if (!s.ok() && !s.IsNotFound()) ++st.failures;
+    } else {
+      uint64_t count = 0;
+      std::string hi = EncodeU64Key((slot + 50) * options_.key_stride);
+      s = db_->Scan(key, hi, [&count](const Slice&, const Slice&) {
+        ++count;
+        return count < 64;
+      });
+      ++st.scans;
+      if (!s.ok()) ++st.failures;
+    }
+    auto dt = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    st.total_latency_ns += dt;
+    st.max_latency_ns = std::max(st.max_latency_ns, dt);
+    ++st.ops;
+  }
+}
+
+}  // namespace soreorg

@@ -1,0 +1,110 @@
+// Workload generation: sparse-tree construction and concurrent user drivers
+// for the experiments.
+//
+// Sparse trees arise two ways, both provided:
+//   * LoadSparseTree — bulk-load directly at fill factor f1 (fast, uniform);
+//   * SparsifyByDeletion — load dense, then delete a fraction of records at
+//     random; with free-at-empty this leaves sparse leaves and scattered
+//     empty pages, the situation of the paper's §2.
+//
+// ConcurrentDriver runs reader/updater threads against the Database while a
+// reorganization is in flight, measuring throughput and worst-case latency
+// (experiments E2 and E8).
+
+#ifndef SOREORG_SIM_WORKLOAD_H_
+#define SOREORG_SIM_WORKLOAD_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/util/random.h"
+
+namespace soreorg {
+
+/// n sorted records with keys i * key_stride (big-endian u64) and
+/// pseudo-random values of value_size bytes.
+std::vector<std::pair<std::string, std::string>> MakeRecords(
+    uint64_t n, size_t value_size, uint64_t key_stride = 10,
+    uint64_t seed = 42);
+
+/// Bulk-load a fresh tree at leaf fill factor f1.
+Status LoadSparseTree(Database* db, uint64_t n, size_t value_size, double f1,
+                      uint64_t key_stride = 10, uint64_t seed = 42);
+
+/// Load dense (fill ~= dense_fill), then randomly delete `delete_fraction`
+/// of the records — free-at-empty leaves the survivors sparse and scattered.
+Status SparsifyByDeletion(Database* db, uint64_t n, size_t value_size,
+                          double dense_fill, double delete_fraction,
+                          uint64_t key_stride = 10, uint64_t seed = 42,
+                          std::vector<uint64_t>* surviving_keys = nullptr);
+
+/// The paper's full degradation scenario (§2): load dense, then
+///   * clustered deletions (dropping whole key ranges, e.g. expired data)
+///     empty entire leaves — free-at-empty returns those pages, creating
+///     the "free pages available in the database";
+///   * scattered deletions leave the surviving leaves sparse;
+///   * insert churn splits leaves, reusing the freed holes, so the leaf
+///     order on disk degrades.
+struct AgingOptions {
+  uint64_t n = 30000;
+  size_t value_size = 64;
+  uint64_t key_stride = 10;
+  double cluster_delete_frac = 0.35;  // fraction deleted in runs of ~3 leaves
+  double random_delete_frac = 0.35;   // fraction deleted at random
+  uint64_t churn_inserts = 5000;
+  uint64_t seed = 42;
+};
+
+Status AgeDatabase(Database* db, const AgingOptions& options,
+                   std::vector<uint64_t>* surviving_keys = nullptr);
+
+struct DriverOptions {
+  int threads = 4;
+  double read_fraction = 0.7;
+  double insert_fraction = 0.1;
+  double delete_fraction = 0.1;
+  double scan_fraction = 0.1;  // short range scans (~50 records)
+  uint64_t key_space = 100000;
+  uint64_t key_stride = 10;
+  size_t value_size = 64;
+  uint64_t seed = 7;
+};
+
+struct DriverStats {
+  uint64_t ops = 0;
+  uint64_t reads = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t scans = 0;
+  uint64_t failures = 0;       // unexpected statuses
+  uint64_t total_latency_ns = 0;
+  uint64_t max_latency_ns = 0;
+};
+
+class ConcurrentDriver {
+ public:
+  ConcurrentDriver(Database* db, DriverOptions options);
+  ~ConcurrentDriver();
+
+  void Start();
+  /// Stop all threads and join; stats() is stable afterwards.
+  void Stop();
+
+  DriverStats stats() const;
+
+ private:
+  void ThreadMain(int idx);
+
+  Database* db_;
+  DriverOptions options_;
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> threads_;
+  std::vector<DriverStats> per_thread_;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_SIM_WORKLOAD_H_

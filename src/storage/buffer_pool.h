@@ -1,0 +1,162 @@
+// BufferPool: fixed-size page cache with pin/unpin, LRU eviction, the WAL
+// interlock (a dirty page cannot reach disk before the WAL is flushed up to
+// its pageLSN), and the paper's **careful writing** discipline (§5, [LT95]):
+//
+//   * AddWriteOrder(first, then): page `then` must not reach the disk before
+//     page `first` is durable. Used by the reorganizer so a source leaf whose
+//     records were partially moved cannot be written (or its old image
+//     clobbered) before the destination page is safe — which is what lets
+//     MOVE log records carry only keys instead of full record bodies.
+//   * DeferredDealloc(victim, until): `victim` may not be returned to the
+//     free list (where it could be reused and overwritten) until `until` is
+//     durable. Used when a fully-drained source page is freed.
+//
+// Durability here is write + fsync of the page file; the MemEnv crash model
+// discards everything after the last fsync, so the dependency machinery is
+// exercised for real by the crash tests.
+
+#ifndef SOREORG_STORAGE_BUFFER_POOL_H_
+#define SOREORG_STORAGE_BUFFER_POOL_H_
+
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/storage/disk_manager.h"
+#include "src/storage/page.h"
+#include "src/util/status.h"
+
+namespace soreorg {
+
+class BufferPool {
+ public:
+  /// Flush the WAL up to (at least) the given LSN. Wired to
+  /// LogManager::FlushTo; may be empty when running without a WAL.
+  using WalFlushFn = std::function<Status(Lsn)>;
+
+  BufferPool(DiskManager* disk, size_t pool_size,
+             WalFlushFn wal_flush = nullptr);
+
+  /// Pin and return the page. Caller must UnpinPage (or use PageGuard).
+  Status FetchPage(PageId page_id, Page** page);
+
+  /// Allocate a fresh page (zeroed, typed kFree) and pin it.
+  Status NewPage(PageId* page_id, Page** page);
+
+  /// Pin a frame for a page id that is already allocated on disk but whose
+  /// current disk content is irrelevant (recovery re-creating a page image).
+  Status NewFrameForExisting(PageId page_id, Page** page);
+
+  Status UnpinPage(PageId page_id, bool dirty);
+
+  /// Drop the page from the pool and return it to the disk free list,
+  /// honouring any DeferredDealloc gate. The page must be unpinned.
+  Status DeletePage(PageId page_id);
+
+  Status FlushPage(PageId page_id);
+  Status FlushAll();
+
+  /// Flush everything and fsync the page file (a "force write" / stable
+  /// point in the paper's pass-3 durability scheme §7.3).
+  Status FlushAndSync();
+
+  /// Flush + fsync a specific set of pages (force-write of the N new pages
+  /// plus changed ancestors at a stable point).
+  Status ForcePages(const std::vector<PageId>& page_ids);
+
+  // --- careful writing -----------------------------------------------------
+  void AddWriteOrder(PageId first, PageId then);
+  /// Like DeletePage, but the disk page is only returned to the free list
+  /// once `until` is durable (the paper's dealloc gate).
+  Status DeletePageDeferred(PageId victim, PageId until);
+  /// True iff the page has been written and fsynced since it last went dirty.
+  bool IsDurable(PageId page_id) const;
+
+  size_t pool_size() const { return frames_.size(); }
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+
+ private:
+  struct Frame {
+    std::unique_ptr<Page> page = std::make_unique<Page>();
+    bool in_use = false;
+  };
+
+  // All Locked* helpers require mu_ held.
+  Status LockedGetVictim(size_t* frame_idx);
+  Status LockedDropFrame(PageId page_id);
+  Status LockedFlushFrame(size_t frame_idx);
+  // Write dependencies of page_id first (with an fsync barrier when needed).
+  Status LockedSatisfyWriteOrder(PageId page_id);
+  Status LockedWriteFrame(size_t frame_idx);
+  Status LockedSync();
+  void LockedTouch(size_t frame_idx);
+  void LockedProcessDeferredDeallocs();
+
+  DiskManager* disk_;
+  WalFlushFn wal_flush_;
+
+  mutable std::mutex mu_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  std::list<size_t> lru_;  // front = most recent; only unpinned frames listed
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+
+  // Careful writing state.
+  std::map<PageId, std::set<PageId>> must_precede_;   // then -> {first...}
+  std::set<PageId> written_unsynced_;
+  std::set<PageId> durable_;
+  std::vector<std::pair<PageId, PageId>> deferred_deallocs_;  // (victim,until)
+
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// RAII pin holder.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    Release();
+    pool_ = o.pool_;
+    page_ = o.page_;
+    dirty_ = o.dirty_;
+    o.pool_ = nullptr;
+    o.page_ = nullptr;
+    return *this;
+  }
+  ~PageGuard() { Release(); }
+
+  Page* get() const { return page_; }
+  Page* operator->() const { return page_; }
+  explicit operator bool() const { return page_ != nullptr; }
+
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      pool_->UnpinPage(page_->page_id(), dirty_);
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,246 @@
+#include "src/storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace soreorg {
+
+// ---------------------------------------------------------------------------
+// MemEnv
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class MemFile : public File {
+ public:
+  MemFile(MemEnv* env, std::string name,
+          std::shared_ptr<MemEnv::FileState> state, std::mutex* mu)
+      : env_(env), name_(std::move(name)), state_(std::move(state)), mu_(mu) {}
+
+  Status Read(uint64_t offset, size_t n, char* buf,
+              size_t* out_n) const override {
+    std::lock_guard<std::mutex> g(*mu_);
+    const std::string& img = state_->volatile_image;
+    if (offset >= img.size()) {
+      *out_n = 0;
+      return Status::OK();
+    }
+    size_t avail = img.size() - offset;
+    size_t take = n < avail ? n : avail;
+    memcpy(buf, img.data() + offset, take);
+    *out_n = take;
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    if (!env_->BeforeWrite(name_, "write", data.size())) {
+      return Status::Crashed("injected fault on write to " + name_);
+    }
+    std::lock_guard<std::mutex> g(*mu_);
+    std::string& img = state_->volatile_image;
+    if (img.size() < offset + data.size()) img.resize(offset + data.size());
+    memcpy(img.data() + offset, data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Append(const Slice& data) override {
+    if (!env_->BeforeWrite(name_, "append", data.size())) {
+      return Status::Crashed("injected fault on append to " + name_);
+    }
+    std::lock_guard<std::mutex> g(*mu_);
+    state_->volatile_image.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (!env_->BeforeWrite(name_, "sync", 0)) {
+      return Status::Crashed("injected fault on sync of " + name_);
+    }
+    std::lock_guard<std::mutex> g(*mu_);
+    env_->bytes_synced_ +=
+        state_->volatile_image.size() > state_->durable.size()
+            ? state_->volatile_image.size() - state_->durable.size()
+            : 0;
+    state_->durable = state_->volatile_image;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> g(*mu_);
+    return state_->volatile_image.size();
+  }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> g(*mu_);
+    if (size < state_->volatile_image.size()) {
+      state_->volatile_image.resize(size);
+    }
+    return Status::OK();
+  }
+
+ private:
+  MemEnv* env_;
+  std::string name_;
+  std::shared_ptr<MemEnv::FileState> state_;
+  std::mutex* mu_;
+};
+
+}  // namespace
+
+Status MemEnv::NewFile(const std::string& name, std::unique_ptr<File>* file) {
+  std::shared_ptr<FileState> state;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = files_.find(name);
+    if (it == files_.end() || !it->second->exists) {
+      state = std::make_shared<FileState>();
+      files_[name] = state;
+    } else {
+      state = it->second;
+    }
+  }
+  *file = std::make_unique<MemFile>(this, name, std::move(state), &mu_);
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& name) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(name);
+  return it != files_.end() && it->second->exists;
+}
+
+Status MemEnv::DeleteFile(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end() || !it->second->exists) {
+    return Status::NotFound(name);
+  }
+  it->second->exists = false;
+  it->second->durable.clear();
+  it->second->volatile_image.clear();
+  return Status::OK();
+}
+
+void MemEnv::Crash() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [name, state] : files_) {
+    state->volatile_image = state->durable;
+  }
+  crashed_ = false;
+}
+
+void MemEnv::set_write_observer(WriteObserver obs) {
+  std::lock_guard<std::mutex> g(mu_);
+  observer_ = std::move(obs);
+}
+
+bool MemEnv::crashed() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return crashed_;
+}
+
+uint64_t MemEnv::bytes_synced() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return bytes_synced_;
+}
+
+bool MemEnv::BeforeWrite(const std::string& name, const char* op, size_t n) {
+  WriteObserver obs;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (crashed_) return false;
+    obs = observer_;
+  }
+  if (obs && !obs(name, op, n)) {
+    std::lock_guard<std::mutex> g(mu_);
+    crashed_ = true;
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// PosixEnv
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class PosixFile : public File {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, char* buf,
+              size_t* out_n) const override {
+    ssize_t r = ::pread(fd_, buf, n, static_cast<off_t>(offset));
+    if (r < 0) return Status::IOError(strerror(errno));
+    *out_n = static_cast<size_t>(r);
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    ssize_t r =
+        ::pwrite(fd_, data.data(), data.size(), static_cast<off_t>(offset));
+    if (r < 0 || static_cast<size_t>(r) != data.size()) {
+      return Status::IOError(strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Append(const Slice& data) override {
+    off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) return Status::IOError(strerror(errno));
+    return Write(static_cast<uint64_t>(end), data);
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return Status::IOError(strerror(errno));
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return 0;
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::IOError(strerror(errno));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+Status PosixEnv::NewFile(const std::string& name,
+                         std::unique_ptr<File>* file) {
+  int fd = ::open(name.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return Status::IOError(name + ": " + strerror(errno));
+  *file = std::make_unique<PosixFile>(fd);
+  return Status::OK();
+}
+
+bool PosixEnv::FileExists(const std::string& name) const {
+  return ::access(name.c_str(), F_OK) == 0;
+}
+
+Status PosixEnv::DeleteFile(const std::string& name) {
+  if (::unlink(name.c_str()) != 0) {
+    return Status::IOError(name + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace soreorg

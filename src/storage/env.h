@@ -1,0 +1,122 @@
+// Env: the file-system abstraction under the DiskManager and LogManager.
+//
+// Two implementations:
+//  - PosixEnv: real files, for durable databases on disk.
+//  - MemEnv:   in-memory files with *crash semantics*: writes land in a
+//    volatile image; Sync() promotes the file to a durable image; Crash()
+//    rolls every file back to its durable image. This is how the test suite
+//    and the forward-recovery benchmarks simulate "system failure" while
+//    exercising the exact WAL / careful-writing code paths a real disk would.
+//
+// MemEnv also accepts a WriteObserver hook so the crash injector can fault
+// the system at the N-th write or sync.
+
+#ifndef SOREORG_STORAGE_ENV_H_
+#define SOREORG_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace soreorg {
+
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Read up to n bytes at offset into buf; *out_n gets the count actually
+  /// read (short reads at EOF are not errors).
+  virtual Status Read(uint64_t offset, size_t n, char* buf,
+                      size_t* out_n) const = 0;
+
+  /// Write data at offset, extending the file if needed.
+  virtual Status Write(uint64_t offset, const Slice& data) = 0;
+
+  /// Append data at the current end of file.
+  virtual Status Append(const Slice& data) = 0;
+
+  /// Make all previous writes durable.
+  virtual Status Sync() = 0;
+
+  virtual uint64_t Size() const = 0;
+
+  /// Shrink the file to `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Open (creating if absent) a read-write file.
+  virtual Status NewFile(const std::string& name,
+                         std::unique_ptr<File>* file) = 0;
+  virtual bool FileExists(const std::string& name) const = 0;
+  virtual Status DeleteFile(const std::string& name) = 0;
+};
+
+/// In-memory Env with crash simulation. Thread-safe.
+class MemEnv : public Env {
+ public:
+  /// Called before each write/append/sync with (file name, op, size). If it
+  /// returns false the operation fails with Status::Crashed and the Env
+  /// enters the crashed state (every later op fails until Crash()+Recover()).
+  using WriteObserver =
+      std::function<bool(const std::string& name, const char* op, size_t n)>;
+
+  MemEnv() = default;
+
+  Status NewFile(const std::string& name,
+                 std::unique_ptr<File>* file) override;
+  bool FileExists(const std::string& name) const override;
+  Status DeleteFile(const std::string& name) override;
+
+  /// Simulate a system failure: discard all un-synced writes, clear the
+  /// crashed flag. Open File handles remain usable and see durable state.
+  void Crash();
+
+  void set_write_observer(WriteObserver obs);
+
+  /// True once an injected fault has fired (until Crash() clears it).
+  bool crashed() const;
+
+  /// Total bytes synced across all files (for I/O accounting in benches).
+  uint64_t bytes_synced() const;
+
+  // Implementation details, public for the MemFile helper in env.cc.
+  struct FileState {
+    std::string durable;
+    std::string volatile_image;
+    bool exists = true;
+  };
+
+  // Returns false (and sets crashed_) if the observer vetoes the operation.
+  bool BeforeWrite(const std::string& name, const char* op, size_t n);
+
+  uint64_t bytes_synced_ = 0;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+  WriteObserver observer_;
+  bool crashed_ = false;
+};
+
+/// Real files via POSIX pread/pwrite/fsync.
+class PosixEnv : public Env {
+ public:
+  Status NewFile(const std::string& name,
+                 std::unique_ptr<File>* file) override;
+  bool FileExists(const std::string& name) const override;
+  Status DeleteFile(const std::string& name) override;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_STORAGE_ENV_H_

@@ -1,0 +1,108 @@
+// Page: the unit of disk I/O and buffering.
+//
+// On-disk layout of the common 32-byte header (little-endian):
+//   [0..7]   page_lsn    : LSN of the last WAL record applied to this page
+//   [8..11]  page_id     : self id (redundant, for corruption checks)
+//   [12]     page_type   : PageType
+//   [13]     level       : 0 for leaves, parents-of-leaves ("base pages") = 1
+//   [14..15] flags
+//   [16..19] prev_page   : side pointer (leaf level), kInvalidPageId if none
+//   [20..23] next_page   : side pointer (leaf level), kInvalidPageId if none
+//   [24..31] reserved
+// The remainder of the 4 KiB is owned by the layout on top (SlottedPage).
+//
+// A Page object lives inside a buffer-pool frame; the runtime fields (pin
+// count, dirty bit, latch) are frame state and are never written to disk.
+
+#ifndef SOREORG_STORAGE_PAGE_H_
+#define SOREORG_STORAGE_PAGE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <shared_mutex>
+
+#include "src/util/coding.h"
+
+namespace soreorg {
+
+using PageId = uint32_t;
+using Lsn = uint64_t;
+
+constexpr size_t kPageSize = 4096;
+constexpr PageId kInvalidPageId = 0xffffffffu;
+constexpr Lsn kInvalidLsn = 0;
+
+enum class PageType : uint8_t {
+  kFree = 0,
+  kLeaf = 1,
+  kInternal = 2,   // includes base pages (level 1) and all upper levels
+  kMeta = 3,       // database superblock
+  kSideFile = 4,   // pass-3 side-file table pages
+};
+
+class Page {
+ public:
+  Page() { Reset(); }
+
+  // --- raw bytes -----------------------------------------------------------
+  char* data() { return data_; }
+  const char* data() const { return data_; }
+
+  void Reset() {
+    memset(data_, 0, kPageSize);
+    SetHeaderPageId(kInvalidPageId);
+    SetPrev(kInvalidPageId);
+    SetNext(kInvalidPageId);
+  }
+
+  // --- on-disk header accessors -------------------------------------------
+  Lsn page_lsn() const { return DecodeFixed64(data_ + 0); }
+  void set_page_lsn(Lsn lsn) { EncodeFixed64(data_ + 0, lsn); }
+
+  PageId header_page_id() const { return DecodeFixed32(data_ + 8); }
+  void SetHeaderPageId(PageId id) { EncodeFixed32(data_ + 8, id); }
+
+  PageType type() const { return static_cast<PageType>(data_[12]); }
+  void set_type(PageType t) { data_[12] = static_cast<char>(t); }
+
+  uint8_t level() const { return static_cast<uint8_t>(data_[13]); }
+  void set_level(uint8_t lvl) { data_[13] = static_cast<char>(lvl); }
+
+  uint16_t flags() const { return DecodeFixed16(data_ + 14); }
+  void set_flags(uint16_t f) { EncodeFixed16(data_ + 14, f); }
+
+  PageId prev() const { return DecodeFixed32(data_ + 16); }
+  void SetPrev(PageId id) { EncodeFixed32(data_ + 16, id); }
+
+  PageId next() const { return DecodeFixed32(data_ + 20); }
+  void SetNext(PageId id) { EncodeFixed32(data_ + 20, id); }
+
+  // --- frame (runtime-only) state -----------------------------------------
+  PageId page_id() const { return page_id_; }
+  void set_page_id(PageId id) { page_id_ = id; }
+
+  int pin_count() const { return pin_count_.load(std::memory_order_relaxed); }
+  void IncPin() { pin_count_.fetch_add(1, std::memory_order_relaxed); }
+  int DecPin() { return pin_count_.fetch_sub(1, std::memory_order_relaxed); }
+
+  bool is_dirty() const { return dirty_; }
+  void set_dirty(bool d) { dirty_ = d; }
+
+  /// Short-duration physical latch (distinct from logical locks held in the
+  /// LockManager). Shared for readers, exclusive for modifiers.
+  std::shared_mutex& latch() { return latch_; }
+
+  static constexpr size_t kHeaderSize = 32;
+
+ private:
+  alignas(8) char data_[kPageSize];
+  PageId page_id_ = kInvalidPageId;
+  std::atomic<int> pin_count_{0};
+  bool dirty_ = false;
+  std::shared_mutex latch_;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_STORAGE_PAGE_H_

@@ -1,0 +1,161 @@
+#include "src/storage/slotted_page.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace soreorg {
+
+void SlottedPage::Init(const Slice& aux) {
+  char* d = page_->data();
+  set_num_slots(0);
+  uint16_t aoff = 0;
+  uint16_t asize = 0;
+  if (!aux.empty()) {
+    assert(aux.size() < kPageSize / 4);
+    aoff = static_cast<uint16_t>(kPageSize - aux.size());
+    asize = static_cast<uint16_t>(aux.size());
+    memcpy(d + aoff, aux.data(), aux.size());
+  }
+  EncodeFixed16(d + kAuxOffOff, aoff);
+  EncodeFixed16(d + kAuxSizeOff, asize);
+  set_heap_top(heap_end());
+}
+
+int SlottedPage::slot_count() const { return num_slots(); }
+
+Slice SlottedPage::GetCell(int i) const {
+  assert(i >= 0 && i < slot_count());
+  const char* d = page_->data();
+  uint16_t off = slot(i);
+  uint16_t len = DecodeFixed16(d + off);
+  return Slice(d + off + kCellLenPrefix, len);
+}
+
+size_t SlottedPage::ContiguousFree() const {
+  size_t slots_end = kSlotArrayOff + 2 * static_cast<size_t>(num_slots());
+  uint16_t top = heap_top();
+  return top > slots_end ? top - slots_end : 0;
+}
+
+size_t SlottedPage::FreeSpace() const {
+  // Total free = contiguous + reclaimable-by-compaction. We track it as
+  // heap capacity minus live bytes.
+  size_t live = 0;
+  for (int i = 0; i < slot_count(); ++i) {
+    live += kCellLenPrefix + GetCell(i).size();
+  }
+  size_t slots_end = kSlotArrayOff + 2 * static_cast<size_t>(num_slots());
+  size_t total = heap_end() - slots_end;
+  size_t free_total = total - live;
+  // A new cell also needs a 2-byte slot entry.
+  return free_total > 2 ? free_total - 2 : 0;
+}
+
+size_t SlottedPage::UsedSpace() const {
+  size_t live = 0;
+  for (int i = 0; i < slot_count(); ++i) {
+    live += kCellLenPrefix + GetCell(i).size() + 2 /*slot entry*/;
+  }
+  return live;
+}
+
+size_t SlottedPage::Capacity() const {
+  return heap_end() - kSlotArrayOff;
+}
+
+double SlottedPage::FillFactor() const {
+  size_t cap = Capacity();
+  return cap == 0 ? 0.0 : static_cast<double>(UsedSpace()) /
+                              static_cast<double>(cap);
+}
+
+Slice SlottedPage::GetAux() const {
+  uint16_t aoff = aux_off();
+  if (aoff == 0) return Slice();
+  return Slice(page_->data() + aoff, aux_size());
+}
+
+void SlottedPage::Compact() {
+  // Rewrite all live cells tightly against heap_end, preserving slot order.
+  int n = slot_count();
+  std::vector<std::string> cells;
+  cells.reserve(n);
+  for (int i = 0; i < n; ++i) cells.push_back(GetCell(i).ToString());
+  char* d = page_->data();
+  uint16_t top = heap_end();
+  for (int i = 0; i < n; ++i) {
+    uint16_t len = static_cast<uint16_t>(cells[i].size());
+    top = static_cast<uint16_t>(top - len - kCellLenPrefix);
+    EncodeFixed16(d + top, len);
+    memcpy(d + top + kCellLenPrefix, cells[i].data(), len);
+    set_slot(i, top);
+  }
+  set_heap_top(top);
+}
+
+Status SlottedPage::InsertCell(int i, const Slice& cell) {
+  assert(i >= 0 && i <= slot_count());
+  size_t need = kCellLenPrefix + cell.size();
+  size_t need_with_slot = need + 2;
+  {
+    size_t live = 0;
+    for (int j = 0; j < slot_count(); ++j) {
+      live += kCellLenPrefix + GetCell(j).size();
+    }
+    size_t slots_end = kSlotArrayOff + 2 * static_cast<size_t>(num_slots());
+    size_t total = heap_end() - slots_end;
+    if (total < live || total - live < need_with_slot) {
+      return Status::Busy("page full");
+    }
+  }
+  if (ContiguousFree() < need_with_slot) Compact();
+  assert(ContiguousFree() >= need_with_slot);
+
+  char* d = page_->data();
+  uint16_t top = static_cast<uint16_t>(heap_top() - need);
+  EncodeFixed16(d + top, static_cast<uint16_t>(cell.size()));
+  memcpy(d + top + kCellLenPrefix, cell.data(), cell.size());
+  set_heap_top(top);
+
+  int n = slot_count();
+  // Shift slots [i, n) up by one.
+  for (int j = n; j > i; --j) set_slot(j, slot(j - 1));
+  set_slot(i, top);
+  set_num_slots(static_cast<uint16_t>(n + 1));
+  return Status::OK();
+}
+
+Status SlottedPage::SetCell(int i, const Slice& cell) {
+  assert(i >= 0 && i < slot_count());
+  Slice old = GetCell(i);
+  if (old.size() == cell.size()) {
+    memcpy(page_->data() + slot(i) + kCellLenPrefix, cell.data(), cell.size());
+    return Status::OK();
+  }
+  RemoveCell(i);
+  Status s = InsertCell(i, cell);
+  assert(s.ok() || !s.ok());  // caller handles full-page (rare on shrink)
+  return s;
+}
+
+void SlottedPage::RemoveCell(int i) {
+  assert(i >= 0 && i < slot_count());
+  int n = slot_count();
+  uint16_t off = slot(i);
+  uint16_t len = DecodeFixed16(page_->data() + off);
+  for (int j = i; j < n - 1; ++j) set_slot(j, slot(j + 1));
+  set_num_slots(static_cast<uint16_t>(n - 1));
+  // If the removed cell was the heap top, reclaim it cheaply; otherwise the
+  // space is reclaimed lazily by Compact().
+  if (off == heap_top()) {
+    set_heap_top(static_cast<uint16_t>(off + kCellLenPrefix + len));
+  }
+}
+
+void SlottedPage::Clear() {
+  set_num_slots(0);
+  set_heap_top(heap_end());
+}
+
+}  // namespace soreorg

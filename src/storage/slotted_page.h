@@ -1,0 +1,114 @@
+// SlottedPage: classic slot-array + cell-heap layout over a Page.
+//
+// Layout after the 32-byte common header:
+//   [32..33] num_slots   (u16)
+//   [34..35] heap_top    (u16)  offset of the lowest byte used by any cell
+//   [36..37] aux_off     (u16)  offset of the aux blob (0 = none)
+//   [38..39] aux_size    (u16)
+//   [40.. ]  slot array: one u16 cell-offset per slot, in logical order
+//   ........ free space ........
+//   [heap_top .. heap_end) cell heap, grows downward
+//
+// Cells are opaque byte strings; the B+-tree node layer defines their
+// contents. The "aux" blob stores the base-page low-mark key (paper §7.1):
+// it is set once when the page is formatted and pinned at the top of the
+// heap for the page's lifetime.
+//
+// Each cell is stored with a 2-byte length prefix so removal/compaction can
+// walk the heap.
+
+#ifndef SOREORG_STORAGE_SLOTTED_PAGE_H_
+#define SOREORG_STORAGE_SLOTTED_PAGE_H_
+
+#include "src/storage/page.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace soreorg {
+
+class SlottedPage {
+ public:
+  /// Wrap an existing, already-formatted page.
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Format the page: zero slots, empty heap, optional aux blob (e.g. the
+  /// low-mark key). The common header fields are the caller's business.
+  void Init(const Slice& aux = Slice());
+
+  int slot_count() const;
+
+  /// The cell stored in slot i (0 <= i < slot_count()).
+  Slice GetCell(int i) const;
+
+  /// Insert `cell` so it becomes slot i, shifting later slots up.
+  /// Fails with kBusy if the page lacks room even after compaction.
+  Status InsertCell(int i, const Slice& cell);
+
+  /// Replace slot i's cell.
+  Status SetCell(int i, const Slice& cell);
+
+  /// Remove slot i, shifting later slots down.
+  void RemoveCell(int i);
+
+  /// Remove every cell (keeps aux).
+  void Clear();
+
+  /// Bytes available for a new cell (accounting for its slot entry), after
+  /// compaction if needed.
+  size_t FreeSpace() const;
+
+  /// Bytes used by cells + slots (excludes headers and aux). This is the
+  /// numerator of the fill factor.
+  size_t UsedSpace() const;
+
+  /// Capacity available to cells+slots on an empty page with this aux size.
+  size_t Capacity() const;
+
+  /// UsedSpace()/Capacity(), in [0,1].
+  double FillFactor() const;
+
+  Slice GetAux() const;
+
+  /// Defragment the heap in place.
+  void Compact();
+
+  Page* page() { return page_; }
+  const Page* page() const { return page_; }
+
+  static constexpr size_t kSlotsOff = Page::kHeaderSize;       // 32
+  static constexpr size_t kNumSlotsOff = kSlotsOff + 0;        // 32
+  static constexpr size_t kHeapTopOff = kSlotsOff + 2;         // 34
+  static constexpr size_t kAuxOffOff = kSlotsOff + 4;          // 36
+  static constexpr size_t kAuxSizeOff = kSlotsOff + 6;         // 38
+  static constexpr size_t kSlotArrayOff = kSlotsOff + 8;       // 40
+  static constexpr size_t kCellLenPrefix = 2;
+
+ private:
+  uint16_t num_slots() const { return DecodeFixed16(page_->data() + kNumSlotsOff); }
+  void set_num_slots(uint16_t n) { EncodeFixed16(page_->data() + kNumSlotsOff, n); }
+  uint16_t heap_top() const { return DecodeFixed16(page_->data() + kHeapTopOff); }
+  void set_heap_top(uint16_t v) { EncodeFixed16(page_->data() + kHeapTopOff, v); }
+  uint16_t aux_off() const { return DecodeFixed16(page_->data() + kAuxOffOff); }
+  uint16_t aux_size() const { return DecodeFixed16(page_->data() + kAuxSizeOff); }
+
+  uint16_t slot(int i) const {
+    return DecodeFixed16(page_->data() + kSlotArrayOff + 2 * i);
+  }
+  void set_slot(int i, uint16_t off) {
+    EncodeFixed16(page_->data() + kSlotArrayOff + 2 * i, off);
+  }
+
+  /// End of the heap region: just below the aux blob, or the page end.
+  uint16_t heap_end() const {
+    return aux_off() != 0 ? aux_off() : static_cast<uint16_t>(kPageSize);
+  }
+
+  /// Contiguous bytes between the slot array and heap_top.
+  size_t ContiguousFree() const;
+
+  Page* page_;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_STORAGE_SLOTTED_PAGE_H_

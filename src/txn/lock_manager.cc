@@ -1,0 +1,329 @@
+#include "src/txn/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace soreorg {
+
+LockName TreeLock(uint64_t tree_incarnation) {
+  return LockName{LockSpace::kTree, tree_incarnation};
+}
+LockName PageLock(uint32_t page_id) {
+  return LockName{LockSpace::kPage, page_id};
+}
+LockName RecordLock(const std::string& key) {
+  return LockName{LockSpace::kRecord, std::hash<std::string>{}(key)};
+}
+LockName SideFileLock() { return LockName{LockSpace::kSideFile, 0}; }
+LockName SideKeyLock(const std::string& key) {
+  return LockName{LockSpace::kSideKey, std::hash<std::string>{}(key)};
+}
+
+bool LockManager::LockedConflictsWithGrantedRX(const Queue& q, TxnId txn,
+                                               LockMode mode) const {
+  for (const auto& [holder, held] : q.holders) {
+    if (holder == txn) continue;
+    if (held == LockMode::kRX && !LockCompatible(held, mode)) return true;
+  }
+  return false;
+}
+
+bool LockManager::LockedGrantable(const Queue& q, TxnId txn, LockMode mode,
+                                  bool converting,
+                                  const Waiter* self) const {
+  for (const auto& [holder, held] : q.holders) {
+    if (holder == txn) continue;
+    if (!LockCompatible(held, mode)) return false;
+  }
+  if (!converting) {
+    // FIFO fairness: a fresh request must not overtake an earlier durable
+    // waiter it conflicts with (conversions and instant waiters excepted).
+    for (const Waiter* w : q.waiters) {
+      if (w == self) break;
+      if (w->txn == txn || w->instant || w->killed) continue;
+      if (!LockCompatible(w->mode, mode)) return false;
+    }
+  }
+  return true;
+}
+
+void LockManager::LockedBuildWaitsFor(
+    std::unordered_map<TxnId, std::vector<TxnId>>* graph) const {
+  for (const auto& [name, q] : queues_) {
+    for (auto it = q.waiters.begin(); it != q.waiters.end(); ++it) {
+      const Waiter* w = *it;
+      if (w->killed || w->granted) continue;
+      for (const auto& [holder, held] : q.holders) {
+        if (holder != w->txn && !LockCompatible(held, w->mode)) {
+          (*graph)[w->txn].push_back(holder);
+        }
+      }
+      if (!w->converting) {
+        for (auto jt = q.waiters.begin(); jt != it; ++jt) {
+          const Waiter* e = *jt;
+          if (e->txn == w->txn || e->instant || e->killed) continue;
+          if (!LockCompatible(e->mode, w->mode)) {
+            (*graph)[w->txn].push_back(e->txn);
+          }
+        }
+      }
+    }
+  }
+}
+
+TxnId LockManager::LockedFindDeadlockVictim(TxnId txn) const {
+  std::unordered_map<TxnId, std::vector<TxnId>> graph;
+  LockedBuildWaitsFor(&graph);
+
+  // DFS from txn looking for a cycle back to txn; collect the cycle members.
+  std::vector<TxnId> stack;
+  std::unordered_map<TxnId, int> state;  // 0 unseen, 1 on-stack, 2 done
+  bool reorg_in_cycle = false;
+  bool found = false;
+
+  std::function<void(TxnId)> dfs = [&](TxnId u) {
+    if (found) return;
+    state[u] = 1;
+    stack.push_back(u);
+    auto it = graph.find(u);
+    if (it != graph.end()) {
+      for (TxnId v : it->second) {
+        if (found) return;
+        if (v == txn && stack.size() > 0) {
+          // Cycle closed back to the requester.
+          found = true;
+          for (TxnId m : stack) {
+            if (m == kReorgTxnId) reorg_in_cycle = true;
+          }
+          return;
+        }
+        if (state[v] == 0) dfs(v);
+      }
+    }
+    if (!found) {
+      stack.pop_back();
+      state[u] = 2;
+    }
+  };
+  dfs(txn);
+  if (!found) return kInvalidTxnId;
+  // Paper policy: the reorganizer always loses a deadlock.
+  if (reorg_in_cycle || txn == kReorgTxnId) return kReorgTxnId;
+  return txn;
+}
+
+Status LockManager::LockImpl(TxnId txn, const LockName& name, LockMode mode,
+                             bool instant, int64_t timeout_ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Queue& q = queues_[name];
+
+  auto h = q.holders.find(txn);
+  bool converting = (h != q.holders.end());
+  if (converting && LockCovers(h->second, mode)) {
+    ++stats_.acquisitions;
+    return Status::OK();
+  }
+  LockMode target = converting ? LockSupremum(h->second, mode) : mode;
+  assert(target != LockMode::kRS || instant);
+
+  // Back-off on a granted-RX conflict (paper §4): do not enqueue.
+  if (!instant && LockedConflictsWithGrantedRX(q, txn, target)) {
+    ++stats_.backoffs;
+    return Status::Backoff("RX held by reorganizer");
+  }
+
+  // Fast path. (LockedGrantable with self == nullptr already refuses to
+  // overtake queued waiters for fresh requests.)
+  if (LockedGrantable(q, txn, target, converting, nullptr)) {
+    if (instant) {
+      ++stats_.instant_grants;
+      return Status::OK();
+    }
+    q.holders[txn] = target;
+    if (!converting) held_[txn].push_back(name);
+    if (converting) ++stats_.conversions;
+    ++stats_.acquisitions;
+    return Status::OK();
+  }
+
+  // Slow path: enqueue and wait. Conversions go to the front of the queue.
+  Waiter w{txn, target, converting, instant, false, false};
+  if (converting) {
+    q.waiters.push_front(&w);
+  } else {
+    q.waiters.push_back(&w);
+  }
+  ++stats_.waits;
+
+  auto remove_self = [&]() {
+    auto it = std::find(q.waiters.begin(), q.waiters.end(), &w);
+    if (it != q.waiters.end()) q.waiters.erase(it);
+  };
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms >= 0 ? timeout_ms : 0);
+
+  while (true) {
+    if (w.killed) {
+      remove_self();
+      cv_.notify_all();
+      ++stats_.deadlocks;
+      return Status::Deadlock("chosen as deadlock victim");
+    }
+    // Re-check the RX back-off condition: an RX lock may have been granted
+    // while we waited.
+    if (!instant && LockedConflictsWithGrantedRX(q, txn, target)) {
+      remove_self();
+      cv_.notify_all();
+      ++stats_.backoffs;
+      return Status::Backoff("RX granted while waiting");
+    }
+    if (LockedGrantable(q, txn, target, converting, &w)) {
+      remove_self();
+      if (instant) {
+        cv_.notify_all();
+        ++stats_.instant_grants;
+        return Status::OK();
+      }
+      q.holders[txn] = target;
+      if (!converting) held_[txn].push_back(name);
+      if (converting) ++stats_.conversions;
+      ++stats_.acquisitions;
+      cv_.notify_all();
+      return Status::OK();
+    }
+
+    // About to block: deadlock check.
+    TxnId victim = LockedFindDeadlockVictim(txn);
+    if (victim != kInvalidTxnId) {
+      if (victim == txn) {
+        remove_self();
+        cv_.notify_all();
+        ++stats_.deadlocks;
+        return Status::Deadlock("requester lost deadlock");
+      }
+      // Kill the victim's pending waits wherever they are queued.
+      for (auto& [qname, queue] : queues_) {
+        for (Waiter* other : queue.waiters) {
+          if (other->txn == victim) other->killed = true;
+        }
+      }
+      cv_.notify_all();
+      // Loop around: the victim's departure may make us grantable.
+    }
+
+    if (timeout_ms >= 0) {
+      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+        remove_self();
+        cv_.notify_all();
+        ++stats_.timeouts;
+        return Status::TimedOut("lock wait timeout");
+      }
+    } else {
+      cv_.wait(lk);
+    }
+  }
+}
+
+Status LockManager::Lock(TxnId txn, const LockName& name, LockMode mode,
+                         int64_t timeout_ms) {
+  bool instant = (mode == LockMode::kRS);
+  return LockImpl(txn, name, mode, instant, timeout_ms);
+}
+
+Status LockManager::TryLock(TxnId txn, const LockName& name, LockMode mode) {
+  std::lock_guard<std::mutex> g(mu_);
+  Queue& q = queues_[name];
+  auto h = q.holders.find(txn);
+  bool converting = (h != q.holders.end());
+  if (converting && LockCovers(h->second, mode)) {
+    ++stats_.acquisitions;
+    return Status::OK();
+  }
+  LockMode target = converting ? LockSupremum(h->second, mode) : mode;
+  if (LockedConflictsWithGrantedRX(q, txn, target)) {
+    ++stats_.backoffs;
+    return Status::Backoff("RX held by reorganizer");
+  }
+  if (!LockedGrantable(q, txn, target, converting, nullptr)) {
+    return Status::Busy("lock unavailable");
+  }
+  q.holders[txn] = target;
+  if (!converting) held_[txn].push_back(name);
+  if (converting) ++stats_.conversions;
+  ++stats_.acquisitions;
+  return Status::OK();
+}
+
+Status LockManager::LockInstant(TxnId txn, const LockName& name, LockMode mode,
+                                int64_t timeout_ms) {
+  return LockImpl(txn, name, mode, /*instant=*/true, timeout_ms);
+}
+
+Status LockManager::Unlock(TxnId txn, const LockName& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto qi = queues_.find(name);
+  if (qi == queues_.end() || qi->second.holders.erase(txn) == 0) {
+    return Status::NotFound("lock not held");
+  }
+  auto& names = held_[txn];
+  names.erase(std::remove(names.begin(), names.end(), name), names.end());
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status LockManager::Downgrade(TxnId txn, const LockName& name, LockMode mode) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto qi = queues_.find(name);
+  if (qi == queues_.end()) return Status::NotFound("lock not held");
+  auto h = qi->second.holders.find(txn);
+  if (h == qi->second.holders.end()) return Status::NotFound("lock not held");
+  if (!LockCovers(h->second, mode)) {
+    return Status::InvalidArgument("not a downgrade");
+  }
+  h->second = mode;
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (const LockName& name : it->second) {
+    auto qi = queues_.find(name);
+    if (qi != queues_.end()) qi->second.holders.erase(txn);
+  }
+  held_.erase(it);
+  cv_.notify_all();
+}
+
+bool LockManager::HeldMode(TxnId txn, const LockName& name,
+                           LockMode* mode) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto qi = queues_.find(name);
+  if (qi == queues_.end()) return false;
+  auto h = qi->second.holders.find(txn);
+  if (h == qi->second.holders.end()) return false;
+  *mode = h->second;
+  return true;
+}
+
+size_t LockManager::HeldCount(TxnId txn) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+LockStats LockManager::stats() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
+}
+
+void LockManager::ResetStats() {
+  std::lock_guard<std::mutex> g(mu_);
+  stats_ = LockStats{};
+}
+
+}  // namespace soreorg

@@ -1,0 +1,157 @@
+// LockManager: the concurrency engine behind the paper's protocols (§4).
+//
+// Features beyond a textbook multi-granularity lock manager:
+//   * the R / RX / RS modes of Table 1 (see lock_mode.h);
+//   * **back-off on RX conflict**: when a request conflicts with a *granted*
+//     RX lock, the requester is not enqueued — Lock() returns
+//     Status::kBackoff and the caller must release its parent lock and wait
+//     via an instant-duration RS lock on the parent (reader/updater
+//     protocols §4.1.2–4.1.3);
+//   * **instant-duration unconditional locks** (Mohan '90): LockInstant()
+//     blocks until the mode would be grantable, then returns success without
+//     granting anything. Used for RS waits and for the side file's
+//     instant-duration IX during the switch (§7.2);
+//   * lock conversion (the reorganizer upgrades its base-page R locks to X
+//     after moving records); conversions have priority over fresh waiters;
+//   * waits-for deadlock detection with the paper's victim policy: if the
+//     reorganizer is anywhere in the cycle, *the reorganizer loses* (§4.1);
+//     otherwise the requester that closed the cycle loses;
+//   * optional wait timeouts (the switcher's bounded wait for the old-tree
+//     X lock, §7.4).
+//
+// Lock names are (space, id) pairs so trees, pages, records, and the side
+// file live in one namespace.
+
+#ifndef SOREORG_TXN_LOCK_MANAGER_H_
+#define SOREORG_TXN_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/txn/lock_mode.h"
+#include "src/util/status.h"
+#include "src/wal/log_record.h"  // TxnId
+
+namespace soreorg {
+
+enum class LockSpace : uint8_t {
+  kTree = 0,      // the per-tree ("file") lock; id = tree incarnation
+  kPage = 1,      // page locks; id = page id
+  kRecord = 2,    // record locks; id = key hash
+  kSideFile = 3,  // the side-file table lock; id = 0
+  kSideKey = 4,   // record locks inside the side file; id = key hash
+};
+
+struct LockName {
+  LockSpace space;
+  uint64_t id;
+
+  bool operator==(const LockName& o) const {
+    return space == o.space && id == o.id;
+  }
+  bool operator<(const LockName& o) const {
+    if (space != o.space) return space < o.space;
+    return id < o.id;
+  }
+};
+
+LockName TreeLock(uint64_t tree_incarnation);
+LockName PageLock(uint32_t page_id);
+LockName RecordLock(const std::string& key);
+LockName SideFileLock();
+LockName SideKeyLock(const std::string& key);
+
+struct LockStats {
+  uint64_t acquisitions = 0;
+  uint64_t waits = 0;         // requests that blocked at least once
+  uint64_t backoffs = 0;      // kBackoff returns (RX conflicts)
+  uint64_t deadlocks = 0;
+  uint64_t timeouts = 0;
+  uint64_t instant_grants = 0;
+  uint64_t conversions = 0;
+};
+
+class LockManager {
+ public:
+  LockManager() = default;
+
+  /// Acquire (or convert to) `mode` on `name`. Blocks until granted.
+  /// Returns kBackoff on a granted-RX conflict, kDeadlock if this request
+  /// closed a cycle and lost, kTimedOut if timeout_ms >= 0 elapsed, and
+  /// kAborted if another thread killed this waiter as a deadlock victim.
+  Status Lock(TxnId txn, const LockName& name, LockMode mode,
+              int64_t timeout_ms = -1);
+
+  /// Non-blocking attempt. Returns kBusy instead of waiting.
+  Status TryLock(TxnId txn, const LockName& name, LockMode mode);
+
+  /// Instant-duration unconditional request: wait until `mode` would be
+  /// grantable, then return success WITHOUT holding anything.
+  Status LockInstant(TxnId txn, const LockName& name, LockMode mode,
+                     int64_t timeout_ms = -1);
+
+  /// Release this transaction's lock on `name` (whatever its mode).
+  Status Unlock(TxnId txn, const LockName& name);
+
+  /// Downgrade a held lock (e.g. S -> IS after moving to record locks).
+  Status Downgrade(TxnId txn, const LockName& name, LockMode mode);
+
+  /// Release every lock the transaction holds (end of transaction / abort).
+  void ReleaseAll(TxnId txn);
+
+  /// Mode currently held by txn on name, or nullopt semantics via ok flag.
+  bool HeldMode(TxnId txn, const LockName& name, LockMode* mode) const;
+
+  /// Number of distinct lock names currently held by txn.
+  size_t HeldCount(TxnId txn) const;
+
+  LockStats stats() const;
+  void ResetStats();
+
+ private:
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+    bool converting = false;
+    bool instant = false;
+    bool granted = false;
+    bool killed = false;  // deadlock victim
+  };
+
+  struct Queue {
+    std::map<TxnId, LockMode> holders;
+    std::list<Waiter*> waiters;
+  };
+
+  // All Locked* helpers require mu_ held.
+  bool LockedGrantable(const Queue& q, TxnId txn, LockMode mode,
+                       bool converting, const Waiter* self) const;
+  bool LockedConflictsWithGrantedRX(const Queue& q, TxnId txn,
+                                    LockMode mode) const;
+  // Detect a waits-for cycle involving `txn`; returns the victim (or
+  // kInvalidTxnId if no cycle).
+  TxnId LockedFindDeadlockVictim(TxnId txn) const;
+  void LockedBuildWaitsFor(
+      std::unordered_map<TxnId, std::vector<TxnId>>* graph) const;
+
+  Status LockImpl(TxnId txn, const LockName& name, LockMode mode,
+                  bool instant, int64_t timeout_ms);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<LockName, Queue> queues_;
+  std::unordered_map<TxnId, std::vector<LockName>> held_;
+  LockStats stats_;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,88 @@
+#include "src/txn/lock_mode.h"
+
+namespace soreorg {
+
+namespace {
+
+// Table 1, rows = granted mode, columns = requested mode
+// (IS, IX, S, X, R, RX, RS). Blanks in the paper (mode pairs that can never
+// meet because one mode is used only on leaf pages and the other only on
+// base pages) are resolved to their semantically forced values:
+//   * RX is incompatible with everything ("not compatible with any mode").
+//   * R behaves as a share lock: compatible with IS, S, R; incompatible with
+//     IX, X, RX, and with RS (RS exists precisely to wait R out).
+//   * RS as a request is compatible with IS/IX/S (other readers/updaters do
+//     not hold the reorganizer's locks) and incompatible with X (the
+//     reorganizer may have upgraded its base-page R lock to X), R, and RX.
+// RS is never *granted* (instant duration), so its row is all-false; it can
+// never appear on the granted axis in a correct execution.
+constexpr bool kCompat[kNumLockModes][kNumLockModes] = {
+    //            IS     IX     S      X      R      RX     RS
+    /* IS */    {true,  true,  true,  false, true,  false, true},
+    /* IX */    {true,  true,  false, false, false, false, true},
+    /* S  */    {true,  false, true,  false, true,  false, true},
+    /* X  */    {false, false, false, false, false, false, false},
+    /* R  */    {true,  false, true,  false, true,  false, false},
+    /* RX */    {false, false, false, false, false, false, false},
+    /* RS */    {false, false, false, false, false, false, false},
+};
+
+// covers[held][wanted]: holding `held` already satisfies `wanted`.
+constexpr bool kCovers[kNumLockModes][kNumLockModes] = {
+    //            IS     IX     S      X      R      RX     RS
+    /* IS */    {true,  false, false, false, false, false, false},
+    /* IX */    {true,  true,  false, false, false, false, false},
+    /* S  */    {true,  false, true,  false, false, false, false},
+    /* X  */    {true,  true,  true,  true,  true,  false, false},
+    /* R  */    {true,  false, true,  false, true,  false, false},
+    /* RX */    {true,  true,  true,  true,  true,  true,  false},
+    /* RS */    {false, false, false, false, false, false, false},
+};
+
+}  // namespace
+
+bool LockCompatible(LockMode granted, LockMode requested) {
+  return kCompat[static_cast<int>(granted)][static_cast<int>(requested)];
+}
+
+bool LockCovers(LockMode held, LockMode wanted) {
+  return kCovers[static_cast<int>(held)][static_cast<int>(wanted)];
+}
+
+LockMode LockSupremum(LockMode held, LockMode wanted) {
+  if (LockCovers(held, wanted)) return held;
+  if (LockCovers(wanted, held)) return wanted;
+  // Remaining incomparable pairs. Without an SIX mode, promote to the
+  // smallest exclusive mode that covers both.
+  auto one_of = [&](LockMode a, LockMode b) {
+    return (held == a && wanted == b) || (held == b && wanted == a);
+  };
+  if (one_of(LockMode::kIS, LockMode::kIX)) return LockMode::kIX;
+  if (one_of(LockMode::kIS, LockMode::kS)) return LockMode::kS;
+  if (one_of(LockMode::kIS, LockMode::kR)) return LockMode::kR;
+  if (one_of(LockMode::kS, LockMode::kR)) return LockMode::kR;
+  if (held == LockMode::kRX || wanted == LockMode::kRX) return LockMode::kRX;
+  return LockMode::kX;  // IX+S, IX+R, anything + X, ...
+}
+
+const char* LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kX:
+      return "X";
+    case LockMode::kR:
+      return "R";
+    case LockMode::kRX:
+      return "RX";
+    case LockMode::kRS:
+      return "RS";
+  }
+  return "?";
+}
+
+}  // namespace soreorg

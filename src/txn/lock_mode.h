@@ -1,0 +1,53 @@
+// Lock modes and the paper's Table 1 compatibility matrix.
+//
+// Standard multi-granularity modes (IS, IX, S, X) plus the paper's three new
+// modes:
+//   R  — reorganizer share on *base pages* while it reads them before
+//        modifying keys; compatible with S so readers keep flowing.
+//   RX — reorganizer exclusive on *leaf pages* in the current reorganization
+//        unit. Incompatible with every mode — and, uniquely, a conflicting
+//        request does not queue: the lock manager tells the requester to back
+//        off (Status::kBackoff), release its parent lock, and wait via an
+//        instant-duration RS lock on the parent base page.
+//   RS — "reorganizer stalled" wait mode: an unconditional *instant duration*
+//        lock (Mohan '90). It is never actually granted; the request call
+//        returns success only once the mode would be grantable — i.e. once
+//        the reorganizer has released its R/X lock on the base page.
+
+#ifndef SOREORG_TXN_LOCK_MODE_H_
+#define SOREORG_TXN_LOCK_MODE_H_
+
+#include <cstdint>
+
+namespace soreorg {
+
+enum class LockMode : uint8_t {
+  kIS = 0,
+  kIX = 1,
+  kS = 2,
+  kX = 3,
+  kR = 4,
+  kRX = 5,
+  kRS = 6,
+};
+
+constexpr int kNumLockModes = 7;
+
+/// True iff a lock in `requested` can be granted while `granted` is held by
+/// another transaction. This is Table 1 of the paper (blanks resolved to
+/// their semantically forced values; see lock_mode.cc).
+bool LockCompatible(LockMode granted, LockMode requested);
+
+/// True iff holding `held` already satisfies a request for `wanted`
+/// (e.g. X covers S; R covers S on a base page).
+bool LockCovers(LockMode held, LockMode wanted);
+
+/// The combined mode after a holder of `held` additionally requests
+/// `wanted` (lock conversion target). Never returns kRS.
+LockMode LockSupremum(LockMode held, LockMode wanted);
+
+const char* LockModeName(LockMode m);
+
+}  // namespace soreorg
+
+#endif  // SOREORG_TXN_LOCK_MODE_H_

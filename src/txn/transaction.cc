@@ -1,0 +1,4 @@
+#include "src/txn/transaction.h"
+
+// Transaction is header-only today; this TU anchors the vtable-free type for
+// build hygiene and future growth.

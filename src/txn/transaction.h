@@ -1,0 +1,45 @@
+// Transaction: identity + WAL chain + lock set for one unit of user work.
+//
+// Undo is driven by the per-transaction prev_lsn chain (ARIES style); the
+// actual inverse operations are applied by whoever owns the data structure
+// (the B+-tree registers an undo applier with the TransactionManager).
+
+#ifndef SOREORG_TXN_TRANSACTION_H_
+#define SOREORG_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/storage/page.h"
+#include "src/wal/log_record.h"
+
+namespace soreorg {
+
+enum class TxnState : uint8_t {
+  kActive = 0,
+  kCommitted = 1,
+  kAborted = 2,
+};
+
+class Transaction {
+ public:
+  explicit Transaction(TxnId id) : id_(id) {}
+
+  TxnId id() const { return id_; }
+
+  TxnState state() const { return state_; }
+  void set_state(TxnState s) { state_ = s; }
+
+  /// LSN of this transaction's most recent log record (prev_lsn of the next).
+  Lsn last_lsn() const { return last_lsn_; }
+  void set_last_lsn(Lsn lsn) { last_lsn_ = lsn; }
+
+ private:
+  TxnId id_;
+  TxnState state_ = TxnState::kActive;
+  Lsn last_lsn_ = kInvalidLsn;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_TXN_TRANSACTION_H_

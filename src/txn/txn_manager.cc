@@ -1,0 +1,98 @@
+#include "src/txn/txn_manager.h"
+
+namespace soreorg {
+
+TransactionManager::TransactionManager(LogManager* log, LockManager* locks)
+    : log_(log), locks_(locks) {}
+
+void TransactionManager::set_undo_applier(UndoApplier applier) {
+  undo_applier_ = std::move(applier);
+}
+
+Transaction* TransactionManager::Begin() {
+  std::lock_guard<std::mutex> g(mu_);
+  TxnId id = next_txn_id_++;
+  auto txn = std::make_unique<Transaction>(id);
+  Transaction* raw = txn.get();
+  active_[id] = std::move(txn);
+  return raw;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  LogRecord rec;
+  rec.type = LogType::kCommit;
+  rec.txn_id = txn->id();
+  rec.prev_lsn = txn->last_lsn();
+  Status s = log_->AppendAndFlush(&rec);
+  if (!s.ok()) return s;
+  txn->set_state(TxnState::kCommitted);
+  locks_->ReleaseAll(txn->id());
+  ++commits_;
+  Forget(txn);
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  // Walk the prev_lsn chain backwards, applying inverses.
+  Lsn cur = txn->last_lsn();
+  while (cur != kInvalidLsn) {
+    LogRecord rec;
+    Status s = log_->ReadAt(cur, &rec);
+    if (!s.ok()) {
+      // The record may still be in the WAL buffer: flush and retry once.
+      log_->Flush();
+      s = log_->ReadAt(cur, &rec);
+      if (!s.ok()) return s;
+    }
+    if (rec.type == LogType::kClr) {
+      cur = rec.lsn2;  // undo-next pointer skips already-undone work
+      continue;
+    }
+    if (undo_applier_ &&
+        (rec.type == LogType::kInsert || rec.type == LogType::kDelete ||
+         rec.type == LogType::kUpdate || rec.type == LogType::kSideInsert ||
+         rec.type == LogType::kSideCancel)) {
+      s = undo_applier_(rec, txn);
+      if (!s.ok()) return s;
+    }
+    cur = rec.prev_lsn;
+  }
+  LogRecord rec;
+  rec.type = LogType::kAbort;
+  rec.txn_id = txn->id();
+  rec.prev_lsn = txn->last_lsn();
+  Status s = log_->AppendAndFlush(&rec);
+  if (!s.ok()) return s;
+  txn->set_state(TxnState::kAborted);
+  locks_->ReleaseAll(txn->id());
+  ++aborts_;
+  Forget(txn);
+  return Status::OK();
+}
+
+void TransactionManager::Forget(Transaction* txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  active_.erase(txn->id());
+}
+
+std::vector<std::pair<TxnId, Lsn>> TransactionManager::ActiveSnapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::pair<TxnId, Lsn>> out;
+  out.reserve(active_.size());
+  for (const auto& [id, txn] : active_) {
+    out.emplace_back(id, txn->last_lsn());
+  }
+  return out;
+}
+
+TxnId TransactionManager::next_txn_id() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return next_txn_id_;
+}
+
+void TransactionManager::RestoreNextTxnId(TxnId next) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (next > next_txn_id_) next_txn_id_ = next;
+}
+
+}  // namespace soreorg

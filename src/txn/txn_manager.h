@@ -1,0 +1,74 @@
+// TransactionManager: begin/commit/abort, the active-transaction table, and
+// undo processing over the per-transaction prev_lsn chain.
+//
+// Undo of a data operation is delegated to an UndoApplier registered by the
+// data-structure layer (the B+-tree): the applier receives the original log
+// record, performs the inverse change, and logs a CLR. This keeps the txn
+// layer ignorant of page formats.
+
+#ifndef SOREORG_TXN_TXN_MANAGER_H_
+#define SOREORG_TXN_TXN_MANAGER_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/txn/lock_manager.h"
+#include "src/txn/transaction.h"
+#include "src/util/status.h"
+#include "src/wal/log_manager.h"
+
+namespace soreorg {
+
+class TransactionManager {
+ public:
+  /// Apply the inverse of `rec` and log a CLR for `txn`.
+  using UndoApplier =
+      std::function<Status(const LogRecord& rec, Transaction* txn)>;
+
+  TransactionManager(LogManager* log, LockManager* locks);
+
+  void set_undo_applier(UndoApplier applier);
+
+  Transaction* Begin();
+
+  /// Write + flush COMMIT, then release all locks.
+  Status Commit(Transaction* txn);
+
+  /// Undo all of the transaction's changes (via the applier), write ABORT,
+  /// release locks.
+  Status Abort(Transaction* txn);
+
+  /// Finish a transaction whose locks were already managed elsewhere
+  /// (used by the reorganizer's pseudo-transaction).
+  void Forget(Transaction* txn);
+
+  /// Snapshot of (txn id, last lsn) for all active transactions.
+  std::vector<std::pair<TxnId, Lsn>> ActiveSnapshot() const;
+
+  TxnId next_txn_id() const;
+  void RestoreNextTxnId(TxnId next);
+
+  LockManager* lock_manager() { return locks_; }
+  LogManager* log_manager() { return log_; }
+
+  uint64_t commits() const { return commits_; }
+  uint64_t aborts() const { return aborts_; }
+
+ private:
+  LogManager* log_;
+  LockManager* locks_;
+  UndoApplier undo_applier_;
+
+  mutable std::mutex mu_;
+  TxnId next_txn_id_ = kFirstUserTxnId;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> aborts_{0};
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_TXN_TXN_MANAGER_H_

@@ -1,0 +1,129 @@
+#include "src/util/coding.h"
+
+namespace soreorg {
+
+void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed16(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed32(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[sizeof(value)];
+  EncodeFixed64(buf, value);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  unsigned char buf[5];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint32_t result = 0;
+  for (uint32_t shift = 0; shift <= 28 && !input->empty(); shift += 7) {
+    uint32_t byte = static_cast<unsigned char>((*input)[0]);
+    input->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= ((byte & 0x7f) << shift);
+    } else {
+      result |= (byte << shift);
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (uint32_t shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint64_t byte = static_cast<unsigned char>((*input)[0]);
+    input->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= ((byte & 0x7f) << shift);
+    } else {
+      result |= (byte << shift);
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint32_t len;
+  if (!GetVarint32(input, &len)) return false;
+  if (input->size() < len) return false;
+  *result = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+bool GetFixed16(Slice* input, uint16_t* value) {
+  if (input->size() < sizeof(*value)) return false;
+  *value = DecodeFixed16(input->data());
+  input->remove_prefix(sizeof(*value));
+  return true;
+}
+
+bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < sizeof(*value)) return false;
+  *value = DecodeFixed32(input->data());
+  input->remove_prefix(sizeof(*value));
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < sizeof(*value)) return false;
+  *value = DecodeFixed64(input->data());
+  input->remove_prefix(sizeof(*value));
+  return true;
+}
+
+std::string EncodeU64Key(uint64_t v) {
+  std::string s(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    s[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  return s;
+}
+
+uint64_t DecodeU64Key(const Slice& s) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < s.size() && i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(s[i]);
+  }
+  return v;
+}
+
+}  // namespace soreorg

@@ -1,0 +1,65 @@
+// Little-endian fixed-width and varint encodings, plus length-prefixed
+// slices. Used for page layouts, WAL record payloads, and checkpoint images.
+
+#ifndef SOREORG_UTIL_CODING_H_
+#define SOREORG_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace soreorg {
+
+inline void EncodeFixed16(char* dst, uint16_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+
+inline uint16_t DecodeFixed16(const char* ptr) {
+  uint16_t v;
+  memcpy(&v, ptr, sizeof(v));
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t v;
+  memcpy(&v, ptr, sizeof(v));
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t v;
+  memcpy(&v, ptr, sizeof(v));
+  return v;
+}
+
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Parse a varint32 from the front of *input; on success advances *input and
+/// returns true. Returns false on truncation/overflow.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+bool GetFixed16(Slice* input, uint16_t* value);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+/// Encode a u64 key big-endian so lexicographic Slice order matches numeric
+/// order. Convenience for tests, examples and benchmarks.
+std::string EncodeU64Key(uint64_t v);
+uint64_t DecodeU64Key(const Slice& s);
+
+}  // namespace soreorg
+
+#endif  // SOREORG_UTIL_CODING_H_

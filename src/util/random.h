@@ -1,0 +1,74 @@
+// Deterministic PRNG (xorshift128+) used by workload generators, property
+// tests and the swap-heuristic benchmarks. Seeded explicitly everywhere so
+// experiments are reproducible run-to-run.
+
+#ifndef SOREORG_UTIL_RANDOM_H_
+#define SOREORG_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace soreorg {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s_[0] = seed ? seed : 0x9e3779b97f4a7c15ull;
+    s_[1] = SplitMix(&s_[0]);
+    s_[0] = SplitMix(&s_[1]);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi].
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability p (p in [0,1]).
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Skewed pick in [0, n): probability of bucket i proportional to
+  /// (n - i)^theta. theta == 0 is uniform.
+  uint64_t Skewed(uint64_t n, double theta) {
+    if (theta <= 0.0) return Uniform(n);
+    double u =
+        static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+    // Inverse-transform of density ~ (1 - x)^theta on [0,1).
+    double x = 1.0 - Pow(u, 1.0 / (theta + 1.0));
+    uint64_t i = static_cast<uint64_t>(x * static_cast<double>(n));
+    return i >= n ? n - 1 : i;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  static double Pow(double base, double exp) {
+    // Tiny local pow via exp/log to avoid <cmath> issues in headers; accuracy
+    // is ample for workload skew.
+    if (base <= 0.0) return 0.0;
+    return __builtin_exp(exp * __builtin_log(base));
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_UTIL_RANDOM_H_

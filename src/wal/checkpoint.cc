@@ -1,0 +1,109 @@
+#include "src/wal/checkpoint.h"
+
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+
+namespace soreorg {
+
+std::string CheckpointImage::Serialize() const {
+  std::string out;
+  PutLengthPrefixedSlice(&out, disk_meta);
+  PutVarint32(&out, static_cast<uint32_t>(active_txns.size()));
+  for (const auto& [txn, lsn] : active_txns) {
+    PutVarint64(&out, txn);
+    PutVarint64(&out, lsn);
+  }
+  PutVarint64(&out, next_txn_id);
+  out.push_back(reorg.has_open_unit ? 1 : 0);
+  PutVarint32(&out, reorg.unit);
+  PutVarint64(&out, reorg.begin_lsn);
+  PutVarint64(&out, reorg.recent_lsn);
+  PutLengthPrefixedSlice(&out, reorg.largest_finished_key);
+  out.push_back(reorg.leaf_pass_active ? 1 : 0);
+  out.push_back(reorg.reorg_bit ? 1 : 0);
+  PutLengthPrefixedSlice(&out, reorg.stable_key);
+  PutFixed32(&out, reorg.new_tree_root);
+  PutFixed32(&out, tree_root);
+  out.push_back(static_cast<char>(tree_height));
+  PutVarint64(&out, tree_incarnation);
+  PutLengthPrefixedSlice(&out, side_file_image);
+  return out;
+}
+
+Status CheckpointImage::Parse(const Slice& input, CheckpointImage* img) {
+  Slice in = input;
+  auto fail = [] { return Status::Corruption("bad checkpoint image"); };
+  Slice s;
+  if (!GetLengthPrefixedSlice(&in, &s)) return fail();
+  img->disk_meta = s.ToString();
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) return fail();
+  img->active_txns.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t txn, lsn;
+    if (!GetVarint64(&in, &txn) || !GetVarint64(&in, &lsn)) return fail();
+    img->active_txns.emplace_back(txn, lsn);
+  }
+  uint64_t v64;
+  if (!GetVarint64(&in, &v64)) return fail();
+  img->next_txn_id = v64;
+  if (in.size() < 1) return fail();
+  img->reorg.has_open_unit = in[0] != 0;
+  in.remove_prefix(1);
+  uint32_t v32;
+  if (!GetVarint32(&in, &v32)) return fail();
+  img->reorg.unit = v32;
+  if (!GetVarint64(&in, &v64)) return fail();
+  img->reorg.begin_lsn = v64;
+  if (!GetVarint64(&in, &v64)) return fail();
+  img->reorg.recent_lsn = v64;
+  if (!GetLengthPrefixedSlice(&in, &s)) return fail();
+  img->reorg.largest_finished_key = s.ToString();
+  if (in.size() < 2) return fail();
+  img->reorg.leaf_pass_active = in[0] != 0;
+  img->reorg.reorg_bit = in[1] != 0;
+  in.remove_prefix(2);
+  if (!GetLengthPrefixedSlice(&in, &s)) return fail();
+  img->reorg.stable_key = s.ToString();
+  if (!GetFixed32(&in, &v32)) return fail();
+  img->reorg.new_tree_root = v32;
+  if (!GetFixed32(&in, &v32)) return fail();
+  img->tree_root = v32;
+  if (in.size() < 1) return fail();
+  img->tree_height = static_cast<uint8_t>(in[0]);
+  in.remove_prefix(1);
+  if (!GetVarint64(&in, &v64)) return fail();
+  img->tree_incarnation = v64;
+  if (!GetLengthPrefixedSlice(&in, &s)) return fail();
+  img->side_file_image = s.ToString();
+  return Status::OK();
+}
+
+CheckpointMaster::CheckpointMaster(Env* env, std::string file_name)
+    : env_(env), file_name_(std::move(file_name)) {}
+
+Status CheckpointMaster::Open() { return env_->NewFile(file_name_, &file_); }
+
+Status CheckpointMaster::Store(Lsn checkpoint_lsn) {
+  char buf[12];
+  EncodeFixed64(buf, checkpoint_lsn);
+  EncodeFixed32(buf + 8, crc32c::Mask(crc32c::Value(buf, 8)));
+  Status s = file_->Write(0, Slice(buf, sizeof(buf)));
+  if (!s.ok()) return s;
+  return file_->Sync();
+}
+
+Status CheckpointMaster::Load(Lsn* checkpoint_lsn) const {
+  char buf[12];
+  size_t n = 0;
+  Status s = file_->Read(0, sizeof(buf), buf, &n);
+  if (!s.ok()) return s;
+  if (n < sizeof(buf)) return Status::NotFound("no checkpoint");
+  if (crc32c::Unmask(DecodeFixed32(buf + 8)) != crc32c::Value(buf, 8)) {
+    return Status::Corruption("checkpoint master crc");
+  }
+  *checkpoint_lsn = DecodeFixed64(buf);
+  return Status::OK();
+}
+
+}  // namespace soreorg

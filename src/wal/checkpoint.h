@@ -1,0 +1,76 @@
+// Checkpointing.
+//
+// A checkpoint is a kCheckpoint WAL record whose payload is a
+// CheckpointImage; its LSN is recorded in a small master file so recovery
+// can find the most recent one without scanning the whole log. The buffer
+// pool is flushed+synced immediately before the record is written, so redo
+// starts at the checkpoint LSN.
+//
+// The image carries the paper's §5 in-memory reorganization table: LK (the
+// largest key of the last finished reorganization unit), and — if a unit is
+// open — its unit id, BEGIN LSN and most recent LSN. It also carries the
+// pass-3 state (§7.3): reorganization bit, most recent stable key, and the
+// location of the concurrent new-tree root.
+
+#ifndef SOREORG_WAL_CHECKPOINT_H_
+#define SOREORG_WAL_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/storage/env.h"
+#include "src/storage/page.h"
+#include "src/wal/log_record.h"
+
+namespace soreorg {
+
+/// The paper's in-memory reorganization table (§5): at most one open unit.
+struct ReorgTableSnapshot {
+  bool has_open_unit = false;
+  uint32_t unit = 0;
+  Lsn begin_lsn = kInvalidLsn;
+  Lsn recent_lsn = kInvalidLsn;
+  /// LK — largest key of the last *finished* unit (restart position).
+  std::string largest_finished_key;
+  bool leaf_pass_active = false;
+
+  // Pass-3 (internal page reorganization) state.
+  bool reorg_bit = false;           // side-file interception active
+  std::string stable_key;           // most recent stable key (§7.3)
+  PageId new_tree_root = kInvalidPageId;
+};
+
+struct CheckpointImage {
+  Lsn checkpoint_lsn = kInvalidLsn;  // filled on read
+  std::string disk_meta;             // DiskManager::SerializeMeta()
+  std::vector<std::pair<TxnId, Lsn>> active_txns;  // (txn, last lsn)
+  TxnId next_txn_id = kFirstUserTxnId;
+  ReorgTableSnapshot reorg;
+  PageId tree_root = kInvalidPageId;
+  uint8_t tree_height = 0;
+  uint64_t tree_incarnation = 1;
+  /// Serialized SideFile contents (pass-3 catch-up queue).
+  std::string side_file_image;
+
+  std::string Serialize() const;
+  static Status Parse(const Slice& in, CheckpointImage* img);
+};
+
+/// Master pointer file: remembers the LSN of the latest checkpoint record.
+class CheckpointMaster {
+ public:
+  CheckpointMaster(Env* env, std::string file_name);
+  Status Open();
+  Status Store(Lsn checkpoint_lsn);
+  /// kNotFound if no checkpoint has ever been taken.
+  Status Load(Lsn* checkpoint_lsn) const;
+
+ private:
+  Env* env_;
+  std::string file_name_;
+  std::unique_ptr<File> file_;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_WAL_CHECKPOINT_H_

@@ -1,0 +1,181 @@
+#include "src/wal/log_manager.h"
+
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+
+namespace soreorg {
+
+LogManager::LogManager(Env* env, std::string file_name)
+    : env_(env), file_name_(std::move(file_name)) {}
+
+Status LogManager::Open() {
+  Status s = env_->NewFile(file_name_, &file_);
+  if (!s.ok()) return s;
+
+  // Find the end of the valid prefix.
+  std::lock_guard<std::mutex> g(mu_);
+  uint64_t size = file_->Size();
+  uint64_t off = 0;
+  while (off + kFrameHeader <= size) {
+    char hdr[kFrameHeader];
+    size_t n = 0;
+    s = file_->Read(off, kFrameHeader, hdr, &n);
+    if (!s.ok() || n < kFrameHeader) break;
+    uint32_t len = DecodeFixed32(hdr);
+    uint32_t masked = DecodeFixed32(hdr + 4);
+    if (len == 0 || off + kFrameHeader + len > size) break;
+    std::string body(len, '\0');
+    s = file_->Read(off + kFrameHeader, len, body.data(), &n);
+    if (!s.ok() || n < len) break;
+    if (crc32c::Unmask(masked) != crc32c::Value(body.data(), len)) break;
+    off += kFrameHeader + len;
+  }
+  // Discard any torn tail so new appends start clean. LSNs are byte
+  // offsets biased by +1 so that offset 0 is representable (kInvalidLsn
+  // is 0).
+  file_->Truncate(off);
+  next_lsn_ = off + 1;
+  flushed_lsn_ = off + 1;
+  buffer_start_ = off;
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status LogManager::Append(LogRecord* rec) {
+  std::lock_guard<std::mutex> g(mu_);
+  std::string body;
+  rec->AppendTo(&body);
+  rec->lsn = next_lsn_;
+
+  char hdr[kFrameHeader];
+  EncodeFixed32(hdr, static_cast<uint32_t>(body.size()));
+  EncodeFixed32(hdr + 4, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  buffer_.append(hdr, kFrameHeader);
+  buffer_.append(body);
+
+  next_lsn_ += kFrameHeader + body.size();
+  bytes_appended_ += kFrameHeader + body.size();
+  ++records_appended_;
+  type_bytes_[static_cast<size_t>(rec->type) % type_bytes_.size()] +=
+      kFrameHeader + body.size();
+  if (buffer_.size() > buffer_limit_) return LockedFlush();
+  return Status::OK();
+}
+
+void LogManager::set_buffer_limit(size_t bytes) {
+  std::lock_guard<std::mutex> g(mu_);
+  buffer_limit_ = bytes;
+}
+
+Status LogManager::AppendAndFlush(LogRecord* rec) {
+  Status s = Append(rec);
+  if (!s.ok()) return s;
+  return Flush();
+}
+
+Status LogManager::LockedFlush() {
+  if (buffer_.empty()) return Status::OK();
+  Status s = file_->Write(buffer_start_, buffer_);
+  if (!s.ok()) return s;
+  s = file_->Sync();
+  if (!s.ok()) return s;
+  buffer_start_ += buffer_.size();
+  buffer_.clear();
+  flushed_lsn_ = buffer_start_ + 1;
+  return Status::OK();
+}
+
+Status LogManager::Flush() {
+  std::lock_guard<std::mutex> g(mu_);
+  return LockedFlush();
+}
+
+Status LogManager::FlushTo(Lsn lsn) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (lsn < flushed_lsn_) return Status::OK();
+  return LockedFlush();
+}
+
+Lsn LogManager::NextLsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return next_lsn_;
+}
+
+Lsn LogManager::FlushedLsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return flushed_lsn_;
+}
+
+Status LogManager::ReadAll(std::vector<LogRecord>* out, Lsn start_lsn) const {
+  std::lock_guard<std::mutex> g(mu_);
+  uint64_t size = file_->Size();
+  uint64_t off = start_lsn == 0 ? 0 : start_lsn - 1;
+  while (off + kFrameHeader <= size) {
+    char hdr[kFrameHeader];
+    size_t n = 0;
+    Status s = file_->Read(off, kFrameHeader, hdr, &n);
+    if (!s.ok() || n < kFrameHeader) break;
+    uint32_t len = DecodeFixed32(hdr);
+    uint32_t masked = DecodeFixed32(hdr + 4);
+    if (len == 0 || off + kFrameHeader + len > size) break;
+    std::string body(len, '\0');
+    s = file_->Read(off + kFrameHeader, len, body.data(), &n);
+    if (!s.ok() || n < len) break;
+    if (crc32c::Unmask(masked) != crc32c::Value(body.data(), len)) break;
+    LogRecord rec;
+    s = LogRecord::Parse(Slice(body), &rec);
+    if (!s.ok()) break;
+    rec.lsn = off + 1;
+    out->push_back(std::move(rec));
+    off += kFrameHeader + len;
+  }
+  return Status::OK();
+}
+
+Status LogManager::ReadAt(Lsn lsn, LogRecord* rec) const {
+  if (lsn == kInvalidLsn) return Status::NotFound("invalid lsn");
+  std::lock_guard<std::mutex> g(mu_);
+  const uint64_t off = lsn - 1;
+  char hdr[kFrameHeader];
+  size_t n = 0;
+  Status s = file_->Read(off, kFrameHeader, hdr, &n);
+  if (!s.ok()) return s;
+  if (n < kFrameHeader) return Status::NotFound("lsn past end of log");
+  uint32_t len = DecodeFixed32(hdr);
+  uint32_t masked = DecodeFixed32(hdr + 4);
+  std::string body(len, '\0');
+  s = file_->Read(off + kFrameHeader, len, body.data(), &n);
+  if (!s.ok()) return s;
+  if (n < len) return Status::Corruption("truncated record");
+  if (crc32c::Unmask(masked) != crc32c::Value(body.data(), len)) {
+    return Status::Corruption("crc mismatch");
+  }
+  s = LogRecord::Parse(Slice(body), rec);
+  if (!s.ok()) return s;
+  rec->lsn = lsn;
+  return Status::OK();
+}
+
+uint64_t LogManager::bytes_appended() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return bytes_appended_;
+}
+
+uint64_t LogManager::records_appended() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return records_appended_;
+}
+
+uint64_t LogManager::bytes_for_type(LogType t) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return type_bytes_[static_cast<size_t>(t) % type_bytes_.size()];
+}
+
+void LogManager::ResetStats() {
+  std::lock_guard<std::mutex> g(mu_);
+  bytes_appended_ = 0;
+  records_appended_ = 0;
+  type_bytes_.fill(0);
+}
+
+}  // namespace soreorg

@@ -1,0 +1,91 @@
+// LogManager: append-only WAL with group buffering, CRC framing, and
+// byte-offset LSNs.
+//
+// Framing on disk:  [fixed32 len][fixed32 masked crc32c(payload)][payload]
+// A record's LSN is the file offset of its frame, so LSN order == log order
+// and FlushedLsn() comparisons are trivial. Recovery scans forward and stops
+// at the first frame that is truncated or fails its CRC (the torn tail after
+// a crash).
+//
+// Per-type byte counters feed the log-volume experiment (E3).
+
+#ifndef SOREORG_WAL_LOG_MANAGER_H_
+#define SOREORG_WAL_LOG_MANAGER_H_
+
+#include <array>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/storage/env.h"
+#include "src/storage/page.h"
+#include "src/wal/log_record.h"
+
+namespace soreorg {
+
+class LogManager {
+ public:
+  LogManager(Env* env, std::string file_name);
+
+  /// Open/create the log file; positions the append offset at the end of the
+  /// valid prefix (scanning past any torn tail).
+  Status Open();
+
+  /// Assign an LSN, buffer the record. Flushes only when the in-memory
+  /// buffer exceeds its cap (group-commit style). rec->lsn is set.
+  Status Append(LogRecord* rec);
+
+  /// Cap on the in-memory log buffer; exceeding it triggers a flush on the
+  /// next Append (default 256 KiB). Small caps make WAL writes frequent —
+  /// the crash-injection experiments use this to land failures mid-unit.
+  void set_buffer_limit(size_t bytes);
+
+  /// Append and make durable immediately.
+  Status AppendAndFlush(LogRecord* rec);
+
+  /// Make everything appended so far durable.
+  Status Flush();
+
+  /// Make records up to and including `lsn` durable (no-op if already).
+  Status FlushTo(Lsn lsn);
+
+  Lsn NextLsn() const;
+  Lsn FlushedLsn() const;
+
+  /// Scan all valid records from `start_lsn` (default: start of log).
+  /// Corrupt/torn tails terminate the scan without error.
+  Status ReadAll(std::vector<LogRecord>* out, Lsn start_lsn = 0) const;
+
+  /// Read the single record at `lsn`.
+  Status ReadAt(Lsn lsn, LogRecord* rec) const;
+
+  // --- statistics (E3) -----------------------------------------------------
+  uint64_t bytes_appended() const;
+  uint64_t records_appended() const;
+  uint64_t bytes_for_type(LogType t) const;
+  void ResetStats();
+
+  static constexpr size_t kFrameHeader = 8;  // len + crc
+
+ private:
+  Status LockedFlush();
+
+  Env* env_;
+  std::string file_name_;
+  std::unique_ptr<File> file_;
+
+  mutable std::mutex mu_;
+  std::string buffer_;        // not-yet-written frames
+  Lsn buffer_start_ = 0;      // LSN of buffer_[0]
+  Lsn next_lsn_ = 0;
+  Lsn flushed_lsn_ = 0;       // all records with lsn < flushed_lsn_ durable
+  size_t buffer_limit_ = 256 * 1024;
+  uint64_t bytes_appended_ = 0;
+  uint64_t records_appended_ = 0;
+  std::array<uint64_t, 32> type_bytes_{};
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_WAL_LOG_MANAGER_H_

@@ -1,0 +1,179 @@
+// Forward Recovery (§5.1) tests: a reorganization unit interrupted by a
+// crash is FINISHED at restart, not rolled back — and the rollback policy
+// (the conventional alternative) is validated as the E4 ablation.
+
+#include "tests/test_util.h"
+
+namespace soreorg {
+namespace {
+
+class ForwardRecoveryTest : public DbFixture {
+ protected:
+  void SparsifyAndCheckpoint(uint64_t n = 2000, uint64_t seed = 42) {
+    ASSERT_TRUE(SparsifyByDeletion(db_.get(), n, 64, 0.95, 0.7, 10, seed,
+                                   &survivors_)
+                    .ok());
+    ASSERT_TRUE(db_->Checkpoint().ok());
+  }
+
+  /// Run the leaf pass with a crash injected at the n-th WAL write; returns
+  /// false if the pass finished before the crash fired.
+  bool CrashDuringLeafPass(int wal_write_n) {
+    injector_->ArmAfterOps(wal_write_n, "soreorg.wal");
+    Status s = db_->reorganizer()->RunLeafPass();
+    bool fired = injector_->fired();
+    injector_->Disarm();
+    (void)s;
+    return fired;
+  }
+
+  std::vector<uint64_t> survivors_;
+};
+
+TEST_F(ForwardRecoveryTest, CrashMidUnitThenForwardCompletion) {
+  SparsifyAndCheckpoint();
+  ASSERT_TRUE(CrashDuringLeafPass(6));
+
+  db_.reset();
+  env_->Crash();
+  ASSERT_TRUE(Database::Open(env_.get(), options_, &db_).ok());
+
+  // The incomplete unit was finished: the reorganization table is closed,
+  // the tree is consistent, and no record was lost.
+  EXPECT_FALSE(db_->reorg_table()->has_open_unit());
+  EXPECT_TRUE(db_->tree()->CheckConsistency().ok());
+  EXPECT_EQ(CountRecords(), survivors_.size());
+  EXPECT_GE(db_->reorganizer()->stats().units_resumed, 0u);
+}
+
+TEST_F(ForwardRecoveryTest, SweepCrashPointsAcrossTheFirstUnits) {
+  // Crash at every WAL write boundary through the first few units.
+  for (int crash_at = 2; crash_at <= 30; ++crash_at) {
+    OpenDb(DatabaseOptions());
+    SparsifyAndCheckpoint(1500, static_cast<uint64_t>(crash_at));
+    if (!CrashDuringLeafPass(crash_at)) {
+      continue;  // pass finished before this point; later points too
+    }
+    db_.reset();
+    env_->Crash();
+    ASSERT_TRUE(Database::Open(env_.get(), options_, &db_).ok())
+        << "crash at " << crash_at;
+    EXPECT_FALSE(db_->reorg_table()->has_open_unit())
+        << "crash at " << crash_at;
+    EXPECT_TRUE(db_->tree()->CheckConsistency().ok())
+        << "crash at " << crash_at;
+    EXPECT_EQ(CountRecords(), survivors_.size()) << "crash at " << crash_at;
+  }
+}
+
+TEST_F(ForwardRecoveryTest, ForwardRecoveryPreservesFinishedUnits) {
+  SparsifyAndCheckpoint(3000);
+  BTreeStats sparse;
+  ASSERT_TRUE(db_->tree()->ComputeStats(&sparse).ok());
+
+  // Let several units complete, then crash.
+  ASSERT_TRUE(CrashDuringLeafPass(40));
+  db_.reset();
+  env_->Crash();
+  ASSERT_TRUE(Database::Open(env_.get(), options_, &db_).ok());
+
+  // Work done before the crash survives: LK advanced, and resuming the
+  // pass only processes the remainder (it never re-compacts below LK).
+  std::string lk = db_->reorg_table()->largest_finished_key();
+  EXPECT_FALSE(lk.empty());
+  BTreeStats after_recovery;
+  ASSERT_TRUE(db_->tree()->ComputeStats(&after_recovery).ok());
+  EXPECT_LT(after_recovery.leaf_pages, sparse.leaf_pages);
+
+  ASSERT_TRUE(db_->reorganizer()->RunLeafPass().ok());
+  EXPECT_TRUE(db_->tree()->CheckConsistency().ok());
+  EXPECT_EQ(CountRecords(), survivors_.size());
+}
+
+TEST_F(ForwardRecoveryTest, RollbackPolicyUndoesTheIncompleteUnit) {
+  DatabaseOptions opts;
+  opts.recovery_policy = RecoveryPolicy::kRollback;
+  OpenDb(opts);
+  SparsifyAndCheckpoint();
+  ASSERT_TRUE(CrashDuringLeafPass(6));
+
+  db_.reset();
+  env_->Crash();
+  ASSERT_TRUE(Database::Open(env_.get(), options_, &db_).ok());
+
+  // Conventional recovery: the unit is gone (no open unit), consistency
+  // holds, and no data was lost — but the unit's work was discarded.
+  EXPECT_FALSE(db_->reorg_table()->has_open_unit());
+  EXPECT_TRUE(db_->tree()->CheckConsistency().ok());
+  EXPECT_EQ(CountRecords(), survivors_.size());
+}
+
+TEST_F(ForwardRecoveryTest, RollbackPolicySweep) {
+  for (int crash_at = 3; crash_at <= 24; crash_at += 3) {
+    DatabaseOptions opts;
+    opts.recovery_policy = RecoveryPolicy::kRollback;
+    OpenDb(opts);
+    SparsifyAndCheckpoint(1500, static_cast<uint64_t>(crash_at) + 100);
+    if (!CrashDuringLeafPass(crash_at)) continue;
+    db_.reset();
+    env_->Crash();
+    ASSERT_TRUE(Database::Open(env_.get(), options_, &db_).ok())
+        << "crash at " << crash_at;
+    EXPECT_TRUE(db_->tree()->CheckConsistency().ok())
+        << "crash at " << crash_at;
+    EXPECT_EQ(CountRecords(), survivors_.size()) << "crash at " << crash_at;
+  }
+}
+
+TEST_F(ForwardRecoveryTest, CrashDuringSwapPassRecovers) {
+  SparsifyAndCheckpoint(2500);
+  ASSERT_TRUE(db_->reorganizer()->RunLeafPass().ok());
+  ASSERT_TRUE(db_->Checkpoint().ok());
+
+  injector_->ArmAfterOps(4, "soreorg.wal");
+  db_->reorganizer()->RunSwapPass();
+  bool fired = injector_->fired();
+  injector_->Disarm();
+  if (!fired) GTEST_SKIP() << "swap pass finished before the crash point";
+
+  db_.reset();
+  env_->Crash();
+  ASSERT_TRUE(Database::Open(env_.get(), options_, &db_).ok());
+  EXPECT_FALSE(db_->reorg_table()->has_open_unit());
+  EXPECT_TRUE(db_->tree()->CheckConsistency().ok());
+  EXPECT_EQ(CountRecords(), survivors_.size());
+}
+
+TEST_F(ForwardRecoveryTest, CrashDuringPass3RestartsFromStableKey) {
+  DatabaseOptions opts;
+  opts.reorg.builder.stable_every = 1;
+  OpenDb(opts);
+  ASSERT_TRUE(SparsifyByDeletion(db_.get(), 8000, 64, 0.95, 0.75, 10, 11,
+                                 &survivors_)
+                  .ok());
+  ASSERT_TRUE(db_->reorganizer()->RunLeafPass().ok());
+  ASSERT_TRUE(db_->Checkpoint().ok());
+
+  // Crash partway through the internal-page build (page-file writes come
+  // from the stable-point force writes).
+  injector_->ArmAfterOps(3, "soreorg.pages", "sync");
+  db_->reorganizer()->RunInternalPass();
+  bool fired = injector_->fired();
+  injector_->Disarm();
+  if (!fired) GTEST_SKIP() << "pass 3 finished before the crash point";
+
+  db_.reset();
+  env_->Crash();
+  ASSERT_TRUE(Database::Open(env_.get(), options_, &db_).ok());
+  EXPECT_TRUE(db_->tree()->CheckConsistency().ok());
+  EXPECT_EQ(CountRecords(), survivors_.size());
+
+  if (db_->pass3_pending()) {
+    ASSERT_TRUE(db_->ResumeInternalPass().ok());
+    EXPECT_TRUE(db_->tree()->CheckConsistency().ok());
+    EXPECT_EQ(CountRecords(), survivors_.size());
+  }
+}
+
+}  // namespace
+}  // namespace soreorg

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/env.h"
+#include "src/txn/txn_manager.h"
+
+namespace soreorg {
+namespace {
+
+class TxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<MemEnv>();
+    log_ = std::make_unique<LogManager>(env_.get(), "wal");
+    ASSERT_TRUE(log_->Open().ok());
+    mgr_ = std::make_unique<TransactionManager>(log_.get(), &locks_);
+  }
+
+  std::unique_ptr<MemEnv> env_;
+  std::unique_ptr<LogManager> log_;
+  LockManager locks_;
+  std::unique_ptr<TransactionManager> mgr_;
+};
+
+TEST_F(TxnTest, BeginAssignsIncreasingIds) {
+  Transaction* a = mgr_->Begin();
+  Transaction* b = mgr_->Begin();
+  EXPECT_GE(a->id(), kFirstUserTxnId);
+  EXPECT_GT(b->id(), a->id());
+  mgr_->Forget(a);
+  mgr_->Forget(b);
+}
+
+TEST_F(TxnTest, CommitWritesFlushedCommitRecordAndReleasesLocks) {
+  Transaction* txn = mgr_->Begin();
+  ASSERT_TRUE(locks_.Lock(txn->id(), PageLock(1), LockMode::kX).ok());
+  TxnId id = txn->id();
+  ASSERT_TRUE(mgr_->Commit(txn).ok());
+  EXPECT_EQ(locks_.HeldCount(id), 0u);
+
+  std::vector<LogRecord> recs;
+  ASSERT_TRUE(log_->ReadAll(&recs).ok());
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].type, LogType::kCommit);
+  EXPECT_EQ(recs[0].txn_id, id);
+  EXPECT_LT(recs[0].lsn, log_->FlushedLsn());  // durable at commit
+}
+
+TEST_F(TxnTest, AbortWalksPrevLsnChainThroughApplier) {
+  std::vector<std::string> undone;
+  mgr_->set_undo_applier(
+      [&](const LogRecord& rec, Transaction*) -> Status {
+        undone.push_back(rec.key);
+        return Status::OK();
+      });
+
+  Transaction* txn = mgr_->Begin();
+  for (int i = 0; i < 3; ++i) {
+    LogRecord rec;
+    rec.type = LogType::kInsert;
+    rec.txn_id = txn->id();
+    rec.prev_lsn = txn->last_lsn();
+    rec.key = "k" + std::to_string(i);
+    ASSERT_TRUE(log_->Append(&rec).ok());
+    txn->set_last_lsn(rec.lsn);
+  }
+  ASSERT_TRUE(mgr_->Abort(txn).ok());
+  // Undo runs newest-first.
+  ASSERT_EQ(undone.size(), 3u);
+  EXPECT_EQ(undone[0], "k2");
+  EXPECT_EQ(undone[1], "k1");
+  EXPECT_EQ(undone[2], "k0");
+  EXPECT_EQ(mgr_->aborts(), 1u);
+}
+
+TEST_F(TxnTest, AbortSkipsClrChains) {
+  std::vector<std::string> undone;
+  mgr_->set_undo_applier(
+      [&](const LogRecord& rec, Transaction*) -> Status {
+        undone.push_back(rec.key);
+        return Status::OK();
+      });
+  Transaction* txn = mgr_->Begin();
+  LogRecord a;
+  a.type = LogType::kInsert;
+  a.txn_id = txn->id();
+  a.key = "a";
+  ASSERT_TRUE(log_->Append(&a).ok());
+  LogRecord b;
+  b.type = LogType::kInsert;
+  b.txn_id = txn->id();
+  b.prev_lsn = a.lsn;
+  b.key = "b";
+  ASSERT_TRUE(log_->Append(&b).ok());
+  // A CLR that says "b already undone; continue from a's prev (= none)".
+  LogRecord clr;
+  clr.type = LogType::kClr;
+  clr.txn_id = txn->id();
+  clr.prev_lsn = b.lsn;
+  clr.lsn2 = a.lsn;  // undo-next: a
+  ASSERT_TRUE(log_->Append(&clr).ok());
+  txn->set_last_lsn(clr.lsn);
+
+  ASSERT_TRUE(mgr_->Abort(txn).ok());
+  ASSERT_EQ(undone.size(), 1u);  // only "a" — the CLR skipped "b"
+  EXPECT_EQ(undone[0], "a");
+}
+
+TEST_F(TxnTest, ActiveSnapshotTracksLiveTransactions) {
+  Transaction* a = mgr_->Begin();
+  Transaction* b = mgr_->Begin();
+  a->set_last_lsn(11);
+  b->set_last_lsn(22);
+  auto snap = mgr_->ActiveSnapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  ASSERT_TRUE(mgr_->Commit(a).ok());
+  snap = mgr_->ActiveSnapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].first, b->id());
+  EXPECT_EQ(snap[0].second, 22u);
+  ASSERT_TRUE(mgr_->Commit(b).ok());
+  EXPECT_TRUE(mgr_->ActiveSnapshot().empty());
+}
+
+TEST_F(TxnTest, RestoreNextTxnIdOnlyMovesForward) {
+  mgr_->RestoreNextTxnId(500);
+  Transaction* a = mgr_->Begin();
+  EXPECT_GE(a->id(), 500u);
+  mgr_->RestoreNextTxnId(10);  // must not go backwards
+  Transaction* b = mgr_->Begin();
+  EXPECT_GT(b->id(), a->id());
+  mgr_->Forget(a);
+  mgr_->Forget(b);
+}
+
+}  // namespace
+}  // namespace soreorg

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "src/storage/env.h"
+#include "src/wal/checkpoint.h"
+#include "src/wal/log_manager.h"
+#include "src/wal/log_record.h"
+
+namespace soreorg {
+namespace {
+
+LogRecord MakeInsert(TxnId txn, PageId page, const std::string& key,
+                     const std::string& value) {
+  LogRecord rec;
+  rec.type = LogType::kInsert;
+  rec.txn_id = txn;
+  rec.page_id = page;
+  rec.key = key;
+  rec.value = value;
+  return rec;
+}
+
+TEST(LogRecordTest, RoundTripAllFields) {
+  LogRecord rec;
+  rec.type = LogType::kReorgModify;
+  rec.txn_id = kReorgTxnId;
+  rec.prev_lsn = 12345;
+  rec.lsn2 = 999;
+  rec.page_id = 7;
+  rec.page_id2 = 8;
+  rec.page_id3 = 9;
+  rec.unit = 42;
+  rec.unit_type = static_cast<uint8_t>(ReorgUnitType::kSwap);
+  rec.flags = kMoveKeysOnly;
+  rec.key = "org-key";
+  rec.key2 = "new-key";
+  rec.value = "org-ptr";
+  rec.value2 = "new-ptr";
+  rec.payload = std::string(300, 'p');
+
+  std::string buf;
+  rec.AppendTo(&buf);
+  LogRecord got;
+  ASSERT_TRUE(LogRecord::Parse(Slice(buf), &got).ok());
+  EXPECT_EQ(got.type, rec.type);
+  EXPECT_EQ(got.txn_id, rec.txn_id);
+  EXPECT_EQ(got.prev_lsn, rec.prev_lsn);
+  EXPECT_EQ(got.lsn2, rec.lsn2);
+  EXPECT_EQ(got.page_id, rec.page_id);
+  EXPECT_EQ(got.page_id2, rec.page_id2);
+  EXPECT_EQ(got.page_id3, rec.page_id3);
+  EXPECT_EQ(got.unit, rec.unit);
+  EXPECT_EQ(got.unit_type, rec.unit_type);
+  EXPECT_EQ(got.flags, rec.flags);
+  EXPECT_EQ(got.key, rec.key);
+  EXPECT_EQ(got.key2, rec.key2);
+  EXPECT_EQ(got.value, rec.value);
+  EXPECT_EQ(got.value2, rec.value2);
+  EXPECT_EQ(got.payload, rec.payload);
+}
+
+TEST(LogRecordTest, ParseRejectsTruncation) {
+  LogRecord rec = MakeInsert(5, 3, "k", "v");
+  std::string buf;
+  rec.AppendTo(&buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    LogRecord got;
+    EXPECT_FALSE(LogRecord::Parse(Slice(buf.data(), cut), &got).ok());
+  }
+}
+
+TEST(LogManagerTest, AppendAssignsMonotonicLsns) {
+  MemEnv env;
+  LogManager log(&env, "wal");
+  ASSERT_TRUE(log.Open().ok());
+  LogRecord a = MakeInsert(2, 1, "a", "1");
+  LogRecord b = MakeInsert(2, 1, "b", "2");
+  ASSERT_TRUE(log.Append(&a).ok());
+  ASSERT_TRUE(log.Append(&b).ok());
+  EXPECT_LT(a.lsn, b.lsn);
+  EXPECT_EQ(log.FlushedLsn(), 1u);  // nothing durable yet (LSNs start at 1)
+  ASSERT_TRUE(log.Flush().ok());
+  EXPECT_GT(log.FlushedLsn(), b.lsn);
+}
+
+TEST(LogManagerTest, ReadAllAndReadAt) {
+  MemEnv env;
+  LogManager log(&env, "wal");
+  ASSERT_TRUE(log.Open().ok());
+  std::vector<Lsn> lsns;
+  for (int i = 0; i < 20; ++i) {
+    LogRecord rec = MakeInsert(2, 1, "k" + std::to_string(i), "v");
+    ASSERT_TRUE(log.Append(&rec).ok());
+    lsns.push_back(rec.lsn);
+  }
+  ASSERT_TRUE(log.Flush().ok());
+
+  std::vector<LogRecord> all;
+  ASSERT_TRUE(log.ReadAll(&all).ok());
+  ASSERT_EQ(all.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(all[i].key, "k" + std::to_string(i));
+    EXPECT_EQ(all[i].lsn, lsns[i]);
+  }
+
+  LogRecord one;
+  ASSERT_TRUE(log.ReadAt(lsns[7], &one).ok());
+  EXPECT_EQ(one.key, "k7");
+
+  std::vector<LogRecord> tail;
+  ASSERT_TRUE(log.ReadAll(&tail, lsns[15]).ok());
+  EXPECT_EQ(tail.size(), 5u);
+}
+
+TEST(LogManagerTest, CrashDiscardsUnflushedTail) {
+  MemEnv env;
+  {
+    LogManager log(&env, "wal");
+    ASSERT_TRUE(log.Open().ok());
+    LogRecord a = MakeInsert(2, 1, "durable", "v");
+    ASSERT_TRUE(log.AppendAndFlush(&a).ok());
+    LogRecord b = MakeInsert(2, 1, "lost", "v");
+    ASSERT_TRUE(log.Append(&b).ok());  // buffered only
+  }
+  env.Crash();
+  LogManager log2(&env, "wal");
+  ASSERT_TRUE(log2.Open().ok());
+  std::vector<LogRecord> all;
+  ASSERT_TRUE(log2.ReadAll(&all).ok());
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].key, "durable");
+}
+
+TEST(LogManagerTest, TornTailIsTruncatedOnOpen) {
+  MemEnv env;
+  Lsn first_lsn;
+  {
+    LogManager log(&env, "wal");
+    ASSERT_TRUE(log.Open().ok());
+    LogRecord a = MakeInsert(2, 1, "good", "v");
+    ASSERT_TRUE(log.AppendAndFlush(&a).ok());
+    first_lsn = a.lsn;
+  }
+  // Corrupt the file by appending garbage bytes (a torn frame).
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env.NewFile("wal", &f).ok());
+  ASSERT_TRUE(f->Append("garbage-frame-bytes").ok());
+  ASSERT_TRUE(f->Sync().ok());
+
+  LogManager log2(&env, "wal");
+  ASSERT_TRUE(log2.Open().ok());
+  std::vector<LogRecord> all;
+  ASSERT_TRUE(log2.ReadAll(&all).ok());
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].key, "good");
+  // New appends land where the valid prefix ended.
+  LogRecord b = MakeInsert(2, 1, "after", "v");
+  ASSERT_TRUE(log2.AppendAndFlush(&b).ok());
+  EXPECT_GT(b.lsn, first_lsn);
+  all.clear();
+  ASSERT_TRUE(log2.ReadAll(&all).ok());
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(LogManagerTest, PerTypeByteAccounting) {
+  MemEnv env;
+  LogManager log(&env, "wal");
+  ASSERT_TRUE(log.Open().ok());
+  LogRecord a = MakeInsert(2, 1, "k", "v");
+  ASSERT_TRUE(log.Append(&a).ok());
+  LogRecord mv;
+  mv.type = LogType::kReorgMove;
+  mv.payload = std::string(500, 'm');
+  ASSERT_TRUE(log.Append(&mv).ok());
+  EXPECT_GT(log.bytes_for_type(LogType::kReorgMove), 500u);
+  EXPECT_GT(log.bytes_for_type(LogType::kInsert), 0u);
+  EXPECT_EQ(log.bytes_for_type(LogType::kCommit), 0u);
+  EXPECT_EQ(log.records_appended(), 2u);
+  EXPECT_EQ(log.bytes_appended(), log.bytes_for_type(LogType::kReorgMove) +
+                                      log.bytes_for_type(LogType::kInsert));
+}
+
+TEST(CheckpointTest, ImageRoundTrip) {
+  CheckpointImage img;
+  img.disk_meta = "disk-meta-bytes";
+  img.active_txns = {{5, 100}, {9, 222}};
+  img.next_txn_id = 10;
+  img.reorg.has_open_unit = true;
+  img.reorg.unit = 3;
+  img.reorg.begin_lsn = 50;
+  img.reorg.recent_lsn = 80;
+  img.reorg.largest_finished_key = "LK";
+  img.reorg.leaf_pass_active = true;
+  img.reorg.reorg_bit = true;
+  img.reorg.stable_key = "SK";
+  img.reorg.new_tree_root = 77;
+  img.tree_root = 3;
+  img.tree_height = 4;
+  img.tree_incarnation = 2;
+  img.side_file_image = "side-bytes";
+
+  std::string buf = img.Serialize();
+  CheckpointImage got;
+  ASSERT_TRUE(CheckpointImage::Parse(Slice(buf), &got).ok());
+  EXPECT_EQ(got.disk_meta, img.disk_meta);
+  EXPECT_EQ(got.active_txns, img.active_txns);
+  EXPECT_EQ(got.next_txn_id, img.next_txn_id);
+  EXPECT_EQ(got.reorg.has_open_unit, true);
+  EXPECT_EQ(got.reorg.unit, 3u);
+  EXPECT_EQ(got.reorg.begin_lsn, 50u);
+  EXPECT_EQ(got.reorg.recent_lsn, 80u);
+  EXPECT_EQ(got.reorg.largest_finished_key, "LK");
+  EXPECT_TRUE(got.reorg.leaf_pass_active);
+  EXPECT_TRUE(got.reorg.reorg_bit);
+  EXPECT_EQ(got.reorg.stable_key, "SK");
+  EXPECT_EQ(got.reorg.new_tree_root, 77u);
+  EXPECT_EQ(got.tree_root, 3u);
+  EXPECT_EQ(got.tree_height, 4);
+  EXPECT_EQ(got.tree_incarnation, 2u);
+  EXPECT_EQ(got.side_file_image, "side-bytes");
+}
+
+TEST(CheckpointTest, MasterStoreLoad) {
+  MemEnv env;
+  CheckpointMaster master(&env, "ckpt");
+  ASSERT_TRUE(master.Open().ok());
+  Lsn lsn;
+  EXPECT_TRUE(master.Load(&lsn).IsNotFound());
+  ASSERT_TRUE(master.Store(4242).ok());
+  ASSERT_TRUE(master.Load(&lsn).ok());
+  EXPECT_EQ(lsn, 4242u);
+  ASSERT_TRUE(master.Store(9999).ok());
+  ASSERT_TRUE(master.Load(&lsn).ok());
+  EXPECT_EQ(lsn, 9999u);
+}
+
+}  // namespace
+}  // namespace soreorg
