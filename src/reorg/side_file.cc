@@ -34,7 +34,7 @@ Status SideFile::Record(Transaction* txn, BaseUpdateOp op, const Slice& key,
   txn->set_last_lsn(rec.lsn);
 
   std::lock_guard<std::mutex> g(mu_);
-  entries_.push_back(SideEntry{op, key.ToString(), leaf});
+  entries_.push_back(SideEntry{op, key.ToString(), leaf, ++next_seq_});
   ++total_recorded_;
   return Status::OK();
 }
@@ -42,7 +42,11 @@ Status SideFile::Record(Transaction* txn, BaseUpdateOp op, const Slice& key,
 Status SideFile::PopFront(SideEntry* entry, bool* empty) {
   SideEntry e;
   for (int attempt = 0;; ++attempt) {
-    if (attempt > 64) return Status::Busy("side-file front kept changing");
+    if (attempt > 64) {
+      // Retryable: the front kept being cancelled/re-recorded under us.
+      // Somebody else made progress each time, so the caller just retries.
+      return Status::Busy("side-file front contended; retry");
+    }
     {
       std::lock_guard<std::mutex> g(mu_);
       if (entries_.empty()) {
@@ -61,10 +65,11 @@ Status SideFile::PopFront(SideEntry* entry, bool* empty) {
       *empty = true;
       return Status::OK();
     }
-    // The front may have been cancelled while we waited; re-verify under
-    // the freshly observed front.
-    if (entries_.front().key != e.key || entries_.front().op != e.op ||
-        entries_.front().leaf != e.leaf) {
+    // The front may have been cancelled while we waited; re-verify by seq.
+    // Field equality is not enough: a cancel + fresh insert of the same
+    // (op, key, leaf) would pass while the new entry's transaction is still
+    // in flight and could still cancel it (classic ABA).
+    if (entries_.front().seq != e.seq) {
       continue;
     }
     entries_.pop_front();
@@ -122,7 +127,7 @@ void SideFile::RedoCancel(BaseUpdateOp op, const Slice& key, PageId leaf) {
 
 void SideFile::ReAdd(BaseUpdateOp op, const Slice& key, PageId leaf) {
   std::lock_guard<std::mutex> g(mu_);
-  entries_.push_back(SideEntry{op, key.ToString(), leaf});
+  entries_.push_back(SideEntry{op, key.ToString(), leaf, ++next_seq_});
 }
 
 void SideFile::UndoInsert(BaseUpdateOp op, const Slice& key) {
@@ -183,13 +188,15 @@ Status SideFile::Restore(const Slice& image) {
     entries.push_back(std::move(e));
   }
   std::lock_guard<std::mutex> g(mu_);
+  // The checkpoint image carries no seqs (they are process-local); re-tag.
+  for (SideEntry& e : entries) e.seq = ++next_seq_;
   entries_ = std::move(entries);
   return Status::OK();
 }
 
 void SideFile::RedoInsert(BaseUpdateOp op, const Slice& key, PageId leaf) {
   std::lock_guard<std::mutex> g(mu_);
-  entries_.push_back(SideEntry{op, key.ToString(), leaf});
+  entries_.push_back(SideEntry{op, key.ToString(), leaf, ++next_seq_});
 }
 
 void SideFile::RedoApply() {

@@ -34,6 +34,13 @@ struct SideEntry {
   BaseUpdateOp op;
   std::string key;
   PageId leaf = kInvalidPageId;
+  /// Monotonic insertion tag, assigned under the side-file mutex. PopFront
+  /// re-verifies the front by seq after waiting out the recording
+  /// transaction: field equality (op, key, leaf) is ABA-prone — a cancel
+  /// followed by a fresh insert of the same logical update would pass the
+  /// check while the new entry's transaction is still in flight. Not
+  /// serialized; restart re-tags restored entries.
+  uint64_t seq = 0;
 };
 
 class SideFile {
@@ -50,7 +57,10 @@ class SideFile {
   /// Sets *empty when nothing was pending. Acquires (and releases) the
   /// entry's record lock under the reorganizer id first, so an entry whose
   /// recording transaction is still in flight — and might still cancel it —
-  /// is not consumed early (§7.2 record-level locking).
+  /// is not consumed early (§7.2 record-level locking). The front is
+  /// re-verified by SideEntry::seq after the wait; if it changed too many
+  /// times in a row the retryable kBusy is returned and the caller simply
+  /// calls again (progress was made by whoever kept changing the front).
   Status PopFront(SideEntry* entry, bool* empty);
 
   /// Compensate a recorded entry whose structure modification failed and
@@ -90,6 +100,7 @@ class SideFile {
   mutable std::mutex mu_;
   std::deque<SideEntry> entries_;
   uint64_t total_recorded_ = 0;
+  uint64_t next_seq_ = 0;  // SideEntry::seq source; guarded by mu_
 };
 
 }  // namespace soreorg

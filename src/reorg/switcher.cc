@@ -1,6 +1,10 @@
 #include "src/reorg/switcher.h"
 
+#include <algorithm>
 #include <chrono>
+#include <thread>
+
+#include "src/util/random.h"
 
 namespace soreorg {
 
@@ -16,13 +20,26 @@ Status Switcher::Switch(TreeBuilder* builder, SwitchStats* stats) {
 
   // 1. X lock the side file: blocks new base-page updates on either tree
   // and waits out every transaction holding a side-file IX lock. The
-  // reorganizer always loses deadlocks (§4.1), so retry until granted.
+  // reorganizer always loses deadlocks (§4.1), so retry until granted —
+  // with jittered exponential backoff: an immediate retry re-enters the
+  // exact conflict window that just killed us and, on a busy system, turns
+  // step 1 into a hot spin that starves the very updaters it is waiting on.
   Status s;
+  Random jitter(options_.backoff_seed);
+  int64_t delay_us = std::max<int64_t>(1, options_.side_lock_backoff_min_us);
   for (int attempt = 0;; ++attempt) {
     s = locks->Lock(id, SideFileLock(), LockMode::kX);
     if (s.ok()) break;
-    if ((s.IsDeadlock() || s.IsBusy()) && attempt < 1024) continue;
-    return s;
+    if ((!s.IsDeadlock() && !s.IsBusy()) ||
+        attempt >= options_.max_side_lock_attempts) {
+      return s;
+    }
+    ++stats->side_lock_retries;
+    int64_t span = delay_us / 2;
+    int64_t sleep_us = span + static_cast<int64_t>(jitter.Uniform(
+                                  static_cast<uint64_t>(span + 1)));
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    delay_us = std::min(delay_us * 2, options_.side_lock_backoff_max_us);
   }
   auto unlock_side = [&]() { locks->Unlock(id, SideFileLock()); };
 

@@ -30,12 +30,25 @@ struct SwitcherOptions {
   /// Per-attempt bound on the old-tree X-lock wait (§7.4's time limit).
   int64_t old_tree_timeout_ms = 2000;
   int max_wait_rounds = 30;
+  /// Step-1 retry policy for the side-file X lock. The reorganizer always
+  /// loses deadlocks (§4.1), so under updater pressure the lock attempt can
+  /// fail many times in a row; each retry backs off exponentially with full
+  /// jitter (uniform in [delay/2, delay]) so retries do not chase the same
+  /// conflict window, starting at `side_lock_backoff_min_us` and capped at
+  /// `side_lock_backoff_max_us`.
+  int max_side_lock_attempts = 1024;
+  int64_t side_lock_backoff_min_us = 50;
+  int64_t side_lock_backoff_max_us = 20000;
+  uint64_t backoff_seed = 0x5157c0ffee;  // deterministic jitter for tests
 };
 
 struct SwitchStats {
   uint64_t final_catchup_entries = 0;
   uint64_t old_pages_discarded = 0;
   uint64_t old_tree_wait_rounds = 0;
+  /// Step-1 side-file X-lock attempts that failed and were retried after a
+  /// backoff sleep (deadlock-victim kills and busy returns).
+  uint64_t side_lock_retries = 0;
   /// Wall-clock nanoseconds updaters were blocked by the side-file X lock.
   uint64_t switch_window_ns = 0;
 };

@@ -213,6 +213,10 @@ Status TreeBuilder::DrainSideFile() {
     }
     if (!s.ok()) return s;
     if (empty) return Status::OK();
+    // A successful pop is progress: reset the retry budget so a long drain
+    // under sustained updater churn cannot accumulate scattered retries
+    // into a spurious hard failure.
+    deadlock_retries = 0;
     s = new_tree_->BaseApply(&reorg_txn_, entry.op, entry.key, entry.leaf);
     if (!s.ok() && !s.IsNotFound()) return s;
     ++ctx_->stats->side_entries_applied;

@@ -139,22 +139,27 @@ void ConcurrentDriver::Stop() {
 
 DriverStats ConcurrentDriver::stats() const {
   DriverStats total;
-  for (const DriverStats& s : per_thread_) {
-    total.ops += s.ops;
-    total.reads += s.reads;
-    total.inserts += s.inserts;
-    total.deletes += s.deletes;
-    total.scans += s.scans;
-    total.failures += s.failures;
-    total.total_latency_ns += s.total_latency_ns;
-    total.max_latency_ns = std::max(total.max_latency_ns, s.max_latency_ns);
+  for (const AtomicStats& s : per_thread_) {
+    total.ops += s.ops.load(std::memory_order_relaxed);
+    total.reads += s.reads.load(std::memory_order_relaxed);
+    total.inserts += s.inserts.load(std::memory_order_relaxed);
+    total.deletes += s.deletes.load(std::memory_order_relaxed);
+    total.scans += s.scans.load(std::memory_order_relaxed);
+    total.failures += s.failures.load(std::memory_order_relaxed);
+    total.total_latency_ns +=
+        s.total_latency_ns.load(std::memory_order_relaxed);
+    total.max_latency_ns =
+        std::max(total.max_latency_ns,
+                 s.max_latency_ns.load(std::memory_order_relaxed));
   }
   return total;
 }
 
 void ConcurrentDriver::ThreadMain(int idx) {
   Random rng(options_.seed + static_cast<uint64_t>(idx) * 7919);
-  DriverStats& st = per_thread_[idx];
+  // Only this thread writes its slot; relaxed fetch_add is enough for
+  // stats() readers on other threads.
+  AtomicStats& st = per_thread_[idx];
   const uint64_t max_slot = options_.key_space;
 
   while (running_.load(std::memory_order_relaxed)) {
@@ -167,21 +172,27 @@ void ConcurrentDriver::ThreadMain(int idx) {
     if (dice < options_.read_fraction) {
       std::string value;
       s = db_->Get(key, &value);
-      ++st.reads;
-      if (!s.ok() && !s.IsNotFound()) ++st.failures;
+      st.reads.fetch_add(1, std::memory_order_relaxed);
+      if (!s.ok() && !s.IsNotFound()) {
+        st.failures.fetch_add(1, std::memory_order_relaxed);
+      }
     } else if (dice < options_.read_fraction + options_.insert_fraction) {
       // Insert between existing slots so it always lands in a live range.
       std::string ikey =
           EncodeU64Key(slot * options_.key_stride + 1 + rng.Uniform(7));
       std::string value(options_.value_size, 'x');
       s = db_->Put(ikey, value);
-      ++st.inserts;
-      if (!s.ok() && !s.IsInvalidArgument()) ++st.failures;
+      st.inserts.fetch_add(1, std::memory_order_relaxed);
+      if (!s.ok() && !s.IsInvalidArgument()) {
+        st.failures.fetch_add(1, std::memory_order_relaxed);
+      }
     } else if (dice < options_.read_fraction + options_.insert_fraction +
                           options_.delete_fraction) {
       s = db_->Delete(key);
-      ++st.deletes;
-      if (!s.ok() && !s.IsNotFound()) ++st.failures;
+      st.deletes.fetch_add(1, std::memory_order_relaxed);
+      if (!s.ok() && !s.IsNotFound()) {
+        st.failures.fetch_add(1, std::memory_order_relaxed);
+      }
     } else {
       uint64_t count = 0;
       std::string hi = EncodeU64Key((slot + 50) * options_.key_stride);
@@ -189,16 +200,19 @@ void ConcurrentDriver::ThreadMain(int idx) {
         ++count;
         return count < 64;
       });
-      ++st.scans;
-      if (!s.ok()) ++st.failures;
+      st.scans.fetch_add(1, std::memory_order_relaxed);
+      if (!s.ok()) st.failures.fetch_add(1, std::memory_order_relaxed);
     }
     auto dt = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
             .count());
-    st.total_latency_ns += dt;
-    st.max_latency_ns = std::max(st.max_latency_ns, dt);
-    ++st.ops;
+    st.total_latency_ns.fetch_add(dt, std::memory_order_relaxed);
+    uint64_t prev = st.max_latency_ns.load(std::memory_order_relaxed);
+    while (dt > prev && !st.max_latency_ns.compare_exchange_weak(
+                            prev, dt, std::memory_order_relaxed)) {
+    }
+    st.ops.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

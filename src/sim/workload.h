@@ -93,16 +93,32 @@ class ConcurrentDriver {
   /// Stop all threads and join; stats() is stable afterwards.
   void Stop();
 
+  /// Safe to call while the driver is running (mid-reorg progress probes do);
+  /// each counter is read atomically, so totals are consistent per field
+  /// though not across fields.
   DriverStats stats() const;
 
  private:
+  // Per-thread slot with atomic counters: worker threads publish with relaxed
+  // stores while stats() reads concurrently from the measuring thread.
+  struct AtomicStats {
+    std::atomic<uint64_t> ops{0};
+    std::atomic<uint64_t> reads{0};
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> deletes{0};
+    std::atomic<uint64_t> scans{0};
+    std::atomic<uint64_t> failures{0};
+    std::atomic<uint64_t> total_latency_ns{0};
+    std::atomic<uint64_t> max_latency_ns{0};
+  };
+
   void ThreadMain(int idx);
 
   Database* db_;
   DriverOptions options_;
   std::atomic<bool> running_{false};
   std::vector<std::thread> threads_;
-  std::vector<DriverStats> per_thread_;
+  std::vector<AtomicStats> per_thread_;
 };
 
 }  // namespace soreorg

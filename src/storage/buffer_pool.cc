@@ -8,6 +8,10 @@ BufferPool::BufferPool(DiskManager* disk, size_t pool_size,
                        WalFlushFn wal_flush)
     : disk_(disk), wal_flush_(std::move(wal_flush)), frames_(pool_size) {}
 
+void BufferPool::SetFetchHook(std::function<void(PageId)> hook) {
+  fetch_hook_ = std::move(hook);
+}
+
 void BufferPool::LockedTouch(size_t frame_idx) {
   auto it = lru_pos_.find(frame_idx);
   if (it != lru_pos_.end()) {
@@ -113,6 +117,7 @@ Status BufferPool::LockedFlushFrame(size_t frame_idx) {
 }
 
 Status BufferPool::FetchPage(PageId page_id, Page** page) {
+  if (fetch_hook_) fetch_hook_(page_id);
   std::lock_guard<std::mutex> g(mu_);
   auto it = page_table_.find(page_id);
   if (it != page_table_.end()) {

@@ -42,6 +42,12 @@ class BufferPool {
   BufferPool(DiskManager* disk, size_t pool_size,
              WalFlushFn wal_flush = nullptr);
 
+  /// Install `hook` to observe every FetchPage call. Invoked before the
+  /// pool's mutex is taken, so it may block — the deterministic schedule
+  /// harness (src/sim/schedule.h) uses this to pin interleavings at page
+  /// access boundaries. Install before concurrent use.
+  void SetFetchHook(std::function<void(PageId)> hook);
+
   /// Pin and return the page. Caller must UnpinPage (or use PageGuard).
   Status FetchPage(PageId page_id, Page** page);
 
@@ -100,6 +106,7 @@ class BufferPool {
 
   DiskManager* disk_;
   WalFlushFn wal_flush_;
+  std::function<void(PageId)> fetch_hook_;
 
   mutable std::mutex mu_;
   std::vector<Frame> frames_;

@@ -1,0 +1,125 @@
+#include "src/txn/lock_invariants.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/txn/lock_manager.h"
+
+namespace soreorg {
+
+namespace {
+
+const char* SpaceName(LockSpace s) {
+  switch (s) {
+    case LockSpace::kTree:
+      return "tree";
+    case LockSpace::kPage:
+      return "page";
+    case LockSpace::kRecord:
+      return "record";
+    case LockSpace::kSideFile:
+      return "side-file";
+    case LockSpace::kSideKey:
+      return "side-key";
+  }
+  return "?";
+}
+
+std::string NameString(const LockName& name) {
+  return std::string(SpaceName(name.space)) + "/" + std::to_string(name.id);
+}
+
+}  // namespace
+
+LockInvariantChecker::LockInvariantChecker(Handler handler)
+    : handler_(std::move(handler)) {}
+
+void LockInvariantChecker::set_leaf_page_predicate(
+    std::function<bool(uint64_t)> pred) {
+  leaf_pred_ = std::move(pred);
+}
+
+void LockInvariantChecker::Reset() {
+  violations_ = 0;
+  recorded_.clear();
+}
+
+void LockInvariantChecker::Report(const char* invariant, std::string detail) {
+  ++violations_;
+  LockViolation v{invariant, std::move(detail)};
+  if (handler_) {
+    recorded_.push_back(v);
+    handler_(v);
+    return;
+  }
+  std::fprintf(stderr, "lock invariant violated [%s]: %s\n", v.invariant.c_str(),
+               v.detail.c_str());
+  std::abort();
+}
+
+void LockInvariantChecker::CheckHolders(
+    const LockName& name, const std::map<TxnId, LockMode>& holders) {
+  for (auto it = holders.begin(); it != holders.end(); ++it) {
+    const auto& [txn, mode] = *it;
+    if (mode == LockMode::kRS) {
+      Report("rs-granted", "txn " + std::to_string(txn) +
+                               " holds RS on " + NameString(name) +
+                               "; RS is instant-duration and never granted");
+    }
+    if (mode == LockMode::kRX) {
+      if (txn != kReorgTxnId) {
+        Report("rx-ownership", "txn " + std::to_string(txn) + " holds RX on " +
+                                   NameString(name) +
+                                   "; only the reorganizer may hold RX");
+      }
+      if (name.space != LockSpace::kPage) {
+        Report("rx-name-space",
+               "RX held on " + NameString(name) +
+                   "; RX applies only to leaf pages in the current unit");
+      } else if (leaf_pred_ && !leaf_pred_(name.id)) {
+        Report("rx-not-leaf", "RX held on non-leaf page " +
+                                  std::to_string(name.id) +
+                                  "; RX applies only to leaf pages");
+      }
+    }
+    // Pairwise Table-1 compatibility of concurrently granted modes.
+    for (auto jt = std::next(it); jt != holders.end(); ++jt) {
+      const auto& [other, other_mode] = *jt;
+      if (!LockCompatible(mode, other_mode) ||
+          !LockCompatible(other_mode, mode)) {
+        Report("table1-compatibility",
+               std::string(LockModeName(mode)) + " (txn " +
+                   std::to_string(txn) + ") and " + LockModeName(other_mode) +
+                   " (txn " + std::to_string(other) +
+                   ") granted together on " + NameString(name));
+      }
+    }
+  }
+}
+
+void LockInvariantChecker::CheckVictimChoice(TxnId requester, TxnId victim,
+                                             bool reorg_in_cycle) {
+  if ((reorg_in_cycle || requester == kReorgTxnId) && victim != kReorgTxnId) {
+    Report("victim-policy",
+           "cycle closed by txn " + std::to_string(requester) +
+               " contains the reorganizer but victim is txn " +
+               std::to_string(victim) + "; the reorganizer always loses");
+  }
+}
+
+void LockInvariantChecker::CheckKillRound(const LockManager& lm, TxnId victim) {
+  // Every pending wait of the victim must now carry the killed mark; a live
+  // wait would let the cycle the victim was chosen to break survive intact.
+  for (const auto& [name, q] : lm.queues_) {
+    for (const LockManager::Waiter* w : q.waiters) {
+      if (w->txn == victim && !w->killed && !w->granted) {
+        Report("surviving-cycle",
+               "victim txn " + std::to_string(victim) +
+                   " still has a live wait for " + LockModeName(w->mode) +
+                   " on " + NameString(name) + " after its kill round");
+      }
+    }
+  }
+}
+
+}  // namespace soreorg

@@ -1,0 +1,99 @@
+// LockInvariantChecker: machine-checked enforcement of the paper's lock
+// protocol (Table 1, §4.1) at every grant/convert/release.
+//
+// The entire correctness argument of the reorganizer rides on a handful of
+// invariants that ordinary tests only exercise incidentally:
+//
+//   (a) the set of concurrently *granted* modes on a lock name is pairwise
+//       compatible per Table 1;
+//   (b) RS is never present as a granted holder (it is an instant-duration
+//       wait mode, §4.1.2 / Mohan '90);
+//   (c) RX is held only by the reorganizer (kReorgTxnId) and only on
+//       leaf-page names (§4.1.1);
+//   (d) a waits-for cycle never survives a victim-kill round: once a victim
+//       is chosen, every one of its pending waits is marked killed, so no
+//       cycle can still route through it;
+//   (e) when the reorganizer sits anywhere in a detected cycle, it — and
+//       only it — is chosen as the victim (§4.1 "the reorganizer loses").
+//
+// The checker is wired into LockManager behind a single pointer test: debug
+// and sanitizer builds (!NDEBUG or SOREORG_LOCK_INVARIANTS) install one by
+// default that aborts the process on the first violation; release builds
+// leave the pointer null, so the cost is one branch per lock event. Tests
+// install their own checker with a recording handler to assert that a
+// deliberately seeded violation is caught (negative testing) or that a
+// workload stays clean.
+//
+// All Check* entry points are called by LockManager with its mutex held.
+
+#ifndef SOREORG_TXN_LOCK_INVARIANTS_H_
+#define SOREORG_TXN_LOCK_INVARIANTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/txn/lock_mode.h"
+#include "src/wal/log_record.h"  // TxnId
+
+namespace soreorg {
+
+class LockManager;
+struct LockName;
+
+struct LockViolation {
+  /// Stable identifier of the broken invariant: "table1-compatibility",
+  /// "rs-granted", "rx-ownership", "rx-name-space", "rx-not-leaf",
+  /// "victim-policy", "surviving-cycle".
+  std::string invariant;
+  std::string detail;
+};
+
+class LockInvariantChecker {
+ public:
+  using Handler = std::function<void(const LockViolation&)>;
+
+  /// With a null handler, a violation prints the full detail to stderr and
+  /// aborts — the right behaviour for debug/sanitizer builds where a broken
+  /// protocol must not be allowed to silently corrupt an experiment.
+  explicit LockInvariantChecker(Handler handler = nullptr);
+
+  /// Optional refinement of invariant (c): when set, an RX grant on page id
+  /// `id` with `pred(id) == false` is a violation. Without it the checker
+  /// still enforces the kPage name space and the kReorgTxnId owner.
+  void set_leaf_page_predicate(std::function<bool(uint64_t)> pred);
+
+  uint64_t violations() const { return violations_; }
+  const std::vector<LockViolation>& recorded() const { return recorded_; }
+  void Reset();
+
+  // --- hooks called by LockManager (mu_ held) ------------------------------
+
+  /// Invariants (a)–(c) over the holders of one lock name, re-validated on
+  /// every grant, conversion, downgrade, and (defensively) release.
+  void CheckHolders(const LockName& name,
+                    const std::map<TxnId, LockMode>& holders);
+
+  /// Invariant (e): `victim` was just chosen for a cycle closed by
+  /// `requester`; `reorg_in_cycle` says whether kReorgTxnId was a member.
+  void CheckVictimChoice(TxnId requester, TxnId victim, bool reorg_in_cycle);
+
+  /// Invariant (d): called after the kill round for `victim`; walks the
+  /// manager's queues and reports any still-live wait owned by the victim
+  /// (which would let the supposedly broken cycle survive).
+  void CheckKillRound(const LockManager& lm, TxnId victim);
+
+ private:
+  void Report(const char* invariant, std::string detail);
+
+  Handler handler_;
+  std::function<bool(uint64_t)> leaf_pred_;
+  uint64_t violations_ = 0;
+  std::vector<LockViolation> recorded_;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_TXN_LOCK_INVARIANTS_H_

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <functional>
 
+#include "src/txn/lock_invariants.h"
+
 namespace soreorg {
 
 LockName TreeLock(uint64_t tree_incarnation) {
@@ -20,6 +22,75 @@ LockName SideKeyLock(const std::string& key) {
   return LockName{LockSpace::kSideKey, std::hash<std::string>{}(key)};
 }
 
+const char* LockEventName(LockEvent e) {
+  switch (e) {
+    case LockEvent::kRequest:
+      return "request";
+    case LockEvent::kWait:
+      return "wait";
+    case LockEvent::kGranted:
+      return "granted";
+    case LockEvent::kInstantGranted:
+      return "instant-granted";
+    case LockEvent::kBusy:
+      return "busy";
+    case LockEvent::kBackoff:
+      return "backoff";
+    case LockEvent::kDeadlock:
+      return "deadlock";
+    case LockEvent::kTimeout:
+      return "timeout";
+    case LockEvent::kUnlock:
+      return "unlock";
+    case LockEvent::kReleaseAll:
+      return "release-all";
+  }
+  return "?";
+}
+
+LockManager::LockManager() {
+#if !defined(NDEBUG) || defined(SOREORG_LOCK_INVARIANTS)
+  // Debug / sanitizer builds machine-check the Table-1 protocol on every
+  // grant; a violation aborts. Release builds leave checker_ null, so every
+  // lock operation pays exactly one pointer test.
+  default_checker_ = std::make_unique<LockInvariantChecker>();
+  checker_ = default_checker_.get();
+#endif
+}
+
+LockManager::~LockManager() = default;
+
+void LockManager::SetEventHook(EventHook hook) {
+  event_hook_ = std::move(hook);
+}
+
+void LockManager::SetInvariantChecker(LockInvariantChecker* checker) {
+  checker_ = checker != nullptr ? checker : default_checker_.get();
+}
+
+void LockManager::Notify(LockEvent e, TxnId txn, const LockName& name,
+                         LockMode mode) {
+  if (event_hook_) event_hook_(e, txn, name, mode);
+}
+
+void LockManager::LockedCheckHolders(const LockName& name, const Queue& q) {
+  if (checker_) checker_->CheckHolders(name, q.holders);
+}
+
+void LockManager::CheckInvariantsNow() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& [name, q] : queues_) LockedCheckHolders(name, q);
+}
+
+void LockManager::ForceGrantForTest(TxnId txn, const LockName& name,
+                                    LockMode mode) {
+  std::lock_guard<std::mutex> g(mu_);
+  Queue& q = queues_[name];
+  if (q.holders.find(txn) == q.holders.end()) held_[txn].push_back(name);
+  q.holders[txn] = mode;
+  LockedCheckHolders(name, q);
+}
+
 bool LockManager::LockedConflictsWithGrantedRX(const Queue& q, TxnId txn,
                                                LockMode mode) const {
   for (const auto& [holder, held] : q.holders) {
@@ -30,13 +101,13 @@ bool LockManager::LockedConflictsWithGrantedRX(const Queue& q, TxnId txn,
 }
 
 bool LockManager::LockedGrantable(const Queue& q, TxnId txn, LockMode mode,
-                                  bool converting,
+                                  bool skip_queue_check,
                                   const Waiter* self) const {
   for (const auto& [holder, held] : q.holders) {
     if (holder == txn) continue;
     if (!LockCompatible(held, mode)) return false;
   }
-  if (!converting) {
+  if (!skip_queue_check) {
     // FIFO fairness: a fresh request must not overtake an earlier durable
     // waiter it conflicts with (conversions and instant waiters excepted).
     for (const Waiter* w : q.waiters) {
@@ -72,14 +143,15 @@ void LockManager::LockedBuildWaitsFor(
   }
 }
 
-TxnId LockManager::LockedFindDeadlockVictim(TxnId txn) const {
+TxnId LockManager::LockedFindDeadlockVictim(TxnId txn,
+                                            bool* reorg_in_cycle) const {
   std::unordered_map<TxnId, std::vector<TxnId>> graph;
   LockedBuildWaitsFor(&graph);
 
   // DFS from txn looking for a cycle back to txn; collect the cycle members.
   std::vector<TxnId> stack;
   std::unordered_map<TxnId, int> state;  // 0 unseen, 1 on-stack, 2 done
-  bool reorg_in_cycle = false;
+  *reorg_in_cycle = false;
   bool found = false;
 
   std::function<void(TxnId)> dfs = [&](TxnId u) {
@@ -94,7 +166,7 @@ TxnId LockManager::LockedFindDeadlockVictim(TxnId txn) const {
           // Cycle closed back to the requester.
           found = true;
           for (TxnId m : stack) {
-            if (m == kReorgTxnId) reorg_in_cycle = true;
+            if (m == kReorgTxnId) *reorg_in_cycle = true;
           }
           return;
         }
@@ -109,22 +181,53 @@ TxnId LockManager::LockedFindDeadlockVictim(TxnId txn) const {
   dfs(txn);
   if (!found) return kInvalidTxnId;
   // Paper policy: the reorganizer always loses a deadlock.
-  if (reorg_in_cycle || txn == kReorgTxnId) return kReorgTxnId;
+  if (*reorg_in_cycle || txn == kReorgTxnId) return kReorgTxnId;
   return txn;
 }
 
 Status LockManager::LockImpl(TxnId txn, const LockName& name, LockMode mode,
+                             bool instant, int64_t timeout_ms) {
+  Notify(LockEvent::kRequest, txn, name, mode);
+  Status s = LockWait(txn, name, mode, instant, timeout_ms);
+  LockEvent e;
+  if (s.ok()) {
+    e = instant ? LockEvent::kInstantGranted : LockEvent::kGranted;
+  } else if (s.IsBackoff()) {
+    e = LockEvent::kBackoff;
+  } else if (s.IsTimedOut()) {
+    e = LockEvent::kTimeout;
+  } else if (s.IsBusy()) {
+    e = LockEvent::kBusy;
+  } else {
+    e = LockEvent::kDeadlock;
+  }
+  Notify(e, txn, name, mode);
+  return s;
+}
+
+Status LockManager::LockWait(TxnId txn, const LockName& name, LockMode mode,
                              bool instant, int64_t timeout_ms) {
   std::unique_lock<std::mutex> lk(mu_);
   Queue& q = queues_[name];
 
   auto h = q.holders.find(txn);
   bool converting = (h != q.holders.end());
-  if (converting && LockCovers(h->second, mode)) {
-    ++stats_.acquisitions;
-    return Status::OK();
+  LockMode target;
+  if (instant) {
+    // Instant-duration requests (RS waits, the switch's instant IX) are
+    // never granted and never convert a held lock: the requested mode is
+    // judged as-is against the *other* holders. Routing them through
+    // LockSupremum was the latent bug that turned an RS wait by a txn still
+    // holding e.g. IX into a wait for full exclusivity (the X fallthrough).
+    converting = false;
+    target = mode;
+  } else {
+    if (converting && LockCovers(h->second, mode)) {
+      ++stats_.acquisitions;
+      return Status::OK();
+    }
+    target = converting ? LockSupremum(h->second, mode) : mode;
   }
-  LockMode target = converting ? LockSupremum(h->second, mode) : mode;
   assert(target != LockMode::kRS || instant);
 
   // Back-off on a granted-RX conflict (paper §4): do not enqueue.
@@ -134,8 +237,9 @@ Status LockManager::LockImpl(TxnId txn, const LockName& name, LockMode mode,
   }
 
   // Fast path. (LockedGrantable with self == nullptr already refuses to
-  // overtake queued waiters for fresh requests.)
-  if (LockedGrantable(q, txn, target, converting, nullptr)) {
+  // overtake queued waiters for fresh requests; instant requests are judged
+  // against holders only.)
+  if (LockedGrantable(q, txn, target, converting || instant, nullptr)) {
     if (instant) {
       ++stats_.instant_grants;
       return Status::OK();
@@ -144,6 +248,7 @@ Status LockManager::LockImpl(TxnId txn, const LockName& name, LockMode mode,
     if (!converting) held_[txn].push_back(name);
     if (converting) ++stats_.conversions;
     ++stats_.acquisitions;
+    LockedCheckHolders(name, q);
     return Status::OK();
   }
 
@@ -155,6 +260,15 @@ Status LockManager::LockImpl(TxnId txn, const LockName& name, LockMode mode,
     q.waiters.push_back(&w);
   }
   ++stats_.waits;
+
+  // Tell the schedule harness (if any) that this request is about to block;
+  // the hook must run without mu_ held, and every condition is re-checked
+  // after relocking, so the brief unlock is safe.
+  if (event_hook_) {
+    lk.unlock();
+    Notify(LockEvent::kWait, txn, name, mode);
+    lk.lock();
+  }
 
   auto remove_self = [&]() {
     auto it = std::find(q.waiters.begin(), q.waiters.end(), &w);
@@ -179,7 +293,7 @@ Status LockManager::LockImpl(TxnId txn, const LockName& name, LockMode mode,
       ++stats_.backoffs;
       return Status::Backoff("RX granted while waiting");
     }
-    if (LockedGrantable(q, txn, target, converting, &w)) {
+    if (LockedGrantable(q, txn, target, converting || instant, &w)) {
       remove_self();
       if (instant) {
         cv_.notify_all();
@@ -190,13 +304,16 @@ Status LockManager::LockImpl(TxnId txn, const LockName& name, LockMode mode,
       if (!converting) held_[txn].push_back(name);
       if (converting) ++stats_.conversions;
       ++stats_.acquisitions;
+      LockedCheckHolders(name, q);
       cv_.notify_all();
       return Status::OK();
     }
 
     // About to block: deadlock check.
-    TxnId victim = LockedFindDeadlockVictim(txn);
+    bool reorg_in_cycle = false;
+    TxnId victim = LockedFindDeadlockVictim(txn, &reorg_in_cycle);
     if (victim != kInvalidTxnId) {
+      if (checker_) checker_->CheckVictimChoice(txn, victim, reorg_in_cycle);
       if (victim == txn) {
         remove_self();
         cv_.notify_all();
@@ -209,6 +326,7 @@ Status LockManager::LockImpl(TxnId txn, const LockName& name, LockMode mode,
           if (other->txn == victim) other->killed = true;
         }
       }
+      if (checker_) checker_->CheckKillRound(*this, victim);
       cv_.notify_all();
       // Loop around: the victim's departure may make us grantable.
     }
@@ -233,27 +351,38 @@ Status LockManager::Lock(TxnId txn, const LockName& name, LockMode mode,
 }
 
 Status LockManager::TryLock(TxnId txn, const LockName& name, LockMode mode) {
-  std::lock_guard<std::mutex> g(mu_);
-  Queue& q = queues_[name];
-  auto h = q.holders.find(txn);
-  bool converting = (h != q.holders.end());
-  if (converting && LockCovers(h->second, mode)) {
-    ++stats_.acquisitions;
-    return Status::OK();
+  Notify(LockEvent::kRequest, txn, name, mode);
+  Status result;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    Queue& q = queues_[name];
+    auto h = q.holders.find(txn);
+    bool converting = (h != q.holders.end());
+    if (converting && LockCovers(h->second, mode)) {
+      ++stats_.acquisitions;
+      result = Status::OK();
+    } else {
+      LockMode target = converting ? LockSupremum(h->second, mode) : mode;
+      if (LockedConflictsWithGrantedRX(q, txn, target)) {
+        ++stats_.backoffs;
+        result = Status::Backoff("RX held by reorganizer");
+      } else if (!LockedGrantable(q, txn, target, converting, nullptr)) {
+        result = Status::Busy("lock unavailable");
+      } else {
+        q.holders[txn] = target;
+        if (!converting) held_[txn].push_back(name);
+        if (converting) ++stats_.conversions;
+        ++stats_.acquisitions;
+        LockedCheckHolders(name, q);
+        result = Status::OK();
+      }
+    }
   }
-  LockMode target = converting ? LockSupremum(h->second, mode) : mode;
-  if (LockedConflictsWithGrantedRX(q, txn, target)) {
-    ++stats_.backoffs;
-    return Status::Backoff("RX held by reorganizer");
-  }
-  if (!LockedGrantable(q, txn, target, converting, nullptr)) {
-    return Status::Busy("lock unavailable");
-  }
-  q.holders[txn] = target;
-  if (!converting) held_[txn].push_back(name);
-  if (converting) ++stats_.conversions;
-  ++stats_.acquisitions;
-  return Status::OK();
+  Notify(result.ok() ? LockEvent::kGranted
+                     : (result.IsBackoff() ? LockEvent::kBackoff
+                                           : LockEvent::kBusy),
+         txn, name, mode);
+  return result;
 }
 
 Status LockManager::LockInstant(TxnId txn, const LockName& name, LockMode mode,
@@ -262,14 +391,17 @@ Status LockManager::LockInstant(TxnId txn, const LockName& name, LockMode mode,
 }
 
 Status LockManager::Unlock(TxnId txn, const LockName& name) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto qi = queues_.find(name);
-  if (qi == queues_.end() || qi->second.holders.erase(txn) == 0) {
-    return Status::NotFound("lock not held");
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto qi = queues_.find(name);
+    if (qi == queues_.end() || qi->second.holders.erase(txn) == 0) {
+      return Status::NotFound("lock not held");
+    }
+    auto& names = held_[txn];
+    names.erase(std::remove(names.begin(), names.end(), name), names.end());
+    cv_.notify_all();
   }
-  auto& names = held_[txn];
-  names.erase(std::remove(names.begin(), names.end(), name), names.end());
-  cv_.notify_all();
+  Notify(LockEvent::kUnlock, txn, name, LockMode::kIS);
   return Status::OK();
 }
 
@@ -283,20 +415,25 @@ Status LockManager::Downgrade(TxnId txn, const LockName& name, LockMode mode) {
     return Status::InvalidArgument("not a downgrade");
   }
   h->second = mode;
+  LockedCheckHolders(name, qi->second);
   cv_.notify_all();
   return Status::OK();
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = held_.find(txn);
-  if (it == held_.end()) return;
-  for (const LockName& name : it->second) {
-    auto qi = queues_.find(name);
-    if (qi != queues_.end()) qi->second.holders.erase(txn);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = held_.find(txn);
+    if (it == held_.end()) return;
+    for (const LockName& name : it->second) {
+      auto qi = queues_.find(name);
+      if (qi != queues_.end()) qi->second.holders.erase(txn);
+    }
+    held_.erase(it);
+    cv_.notify_all();
   }
-  held_.erase(it);
-  cv_.notify_all();
+  Notify(LockEvent::kReleaseAll, txn, LockName{LockSpace::kTree, 0},
+         LockMode::kIS);
 }
 
 bool LockManager::HeldMode(TxnId txn, const LockName& name,

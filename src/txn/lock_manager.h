@@ -10,14 +10,23 @@
 //   * **instant-duration unconditional locks** (Mohan '90): LockInstant()
 //     blocks until the mode would be grantable, then returns success without
 //     granting anything. Used for RS waits and for the side file's
-//     instant-duration IX during the switch (§7.2);
+//     instant-duration IX during the switch (§7.2). Instant requests bypass
+//     lock conversion entirely: the requested mode is evaluated as-is
+//     against the *other* holders, never combined with the requester's own
+//     holding via LockSupremum;
 //   * lock conversion (the reorganizer upgrades its base-page R locks to X
 //     after moving records); conversions have priority over fresh waiters;
 //   * waits-for deadlock detection with the paper's victim policy: if the
 //     reorganizer is anywhere in the cycle, *the reorganizer loses* (§4.1);
 //     otherwise the requester that closed the cycle loses;
 //   * optional wait timeouts (the switcher's bounded wait for the old-tree
-//     X lock, §7.4).
+//     X lock, §7.4);
+//   * a runtime invariant checker (lock_invariants.h) validating the
+//     Table-1 discipline on every grant — installed by default in debug and
+//     sanitizer builds, a single null-pointer test in release;
+//   * an event hook stream (SetEventHook) that the deterministic schedule
+//     harness (src/sim/schedule.h) uses to serialize multi-threaded tests
+//     into reproducible interleavings.
 //
 // Lock names are (space, id) pairs so trees, pages, records, and the side
 // file live in one namespace.
@@ -31,6 +40,7 @@
 #include <functional>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -41,6 +51,8 @@
 #include "src/wal/log_record.h"  // TxnId
 
 namespace soreorg {
+
+class LockInvariantChecker;
 
 enum class LockSpace : uint8_t {
   kTree = 0,      // the per-tree ("file") lock; id = tree incarnation
@@ -79,14 +91,37 @@ struct LockStats {
   uint64_t conversions = 0;
 };
 
+/// Observable milestones of a lock request's lifetime, emitted (with the
+/// manager's mutex released) to the installed event hook. kWait fires once
+/// when a request first blocks; a terminal event (kGranted / kInstantGranted
+/// / kBusy / kBackoff / kDeadlock / kTimeout) fires when the call returns.
+enum class LockEvent : uint8_t {
+  kRequest = 0,
+  kWait = 1,
+  kGranted = 2,
+  kInstantGranted = 3,
+  kBusy = 4,
+  kBackoff = 5,
+  kDeadlock = 6,
+  kTimeout = 7,
+  kUnlock = 8,
+  kReleaseAll = 9,
+};
+
+const char* LockEventName(LockEvent e);
+
 class LockManager {
  public:
-  LockManager() = default;
+  using EventHook =
+      std::function<void(LockEvent, TxnId, const LockName&, LockMode)>;
+
+  LockManager();
+  ~LockManager();
 
   /// Acquire (or convert to) `mode` on `name`. Blocks until granted.
   /// Returns kBackoff on a granted-RX conflict, kDeadlock if this request
-  /// closed a cycle and lost, kTimedOut if timeout_ms >= 0 elapsed, and
-  /// kAborted if another thread killed this waiter as a deadlock victim.
+  /// closed a cycle and lost (or another thread killed this waiter as a
+  /// deadlock victim), and kTimedOut if timeout_ms >= 0 elapsed.
   Status Lock(TxnId txn, const LockName& name, LockMode mode,
               int64_t timeout_ms = -1);
 
@@ -116,7 +151,30 @@ class LockManager {
   LockStats stats() const;
   void ResetStats();
 
+  /// Install `hook` to receive LockEvent notifications. The hook is invoked
+  /// with the manager's mutex released, so it may block (the schedule
+  /// harness does). Install before concurrent use; not thread-safe against
+  /// in-flight operations.
+  void SetEventHook(EventHook hook);
+
+  /// Install an invariant checker (see lock_invariants.h). Passing nullptr
+  /// restores the build-default checker (abort-on-violation in debug and
+  /// sanitizer builds, none in release). The checker must outlive its use.
+  /// Install before concurrent use.
+  void SetInvariantChecker(LockInvariantChecker* checker);
+
+  /// Re-validate every queue against the Table-1 invariants now (test use).
+  void CheckInvariantsNow();
+
+  /// TEST ONLY: install `txn` as a holder of `mode` on `name` without any
+  /// compatibility or protocol checking, then run the invariant checker on
+  /// the resulting queue. This is the seeded-violation backdoor for the
+  /// checker's negative tests; production code must never call it.
+  void ForceGrantForTest(TxnId txn, const LockName& name, LockMode mode);
+
  private:
+  friend class LockInvariantChecker;
+
   struct Waiter {
     TxnId txn;
     LockMode mode;
@@ -132,24 +190,37 @@ class LockManager {
   };
 
   // All Locked* helpers require mu_ held.
+  // `skip_queue_check` bypasses the FIFO no-overtaking rule: conversions
+  // have priority over fresh waiters, and instant-duration requests are
+  // judged against holders only ("would the mode be grantable right now").
   bool LockedGrantable(const Queue& q, TxnId txn, LockMode mode,
-                       bool converting, const Waiter* self) const;
+                       bool skip_queue_check, const Waiter* self) const;
   bool LockedConflictsWithGrantedRX(const Queue& q, TxnId txn,
                                     LockMode mode) const;
   // Detect a waits-for cycle involving `txn`; returns the victim (or
-  // kInvalidTxnId if no cycle).
-  TxnId LockedFindDeadlockVictim(TxnId txn) const;
+  // kInvalidTxnId if no cycle) and whether the reorganizer was a member.
+  TxnId LockedFindDeadlockVictim(TxnId txn, bool* reorg_in_cycle) const;
   void LockedBuildWaitsFor(
       std::unordered_map<TxnId, std::vector<TxnId>>* graph) const;
+  void LockedCheckHolders(const LockName& name, const Queue& q);
 
   Status LockImpl(TxnId txn, const LockName& name, LockMode mode,
                   bool instant, int64_t timeout_ms);
+  // The blocking core of LockImpl; the wrapper adds event notifications.
+  Status LockWait(TxnId txn, const LockName& name, LockMode mode, bool instant,
+                  int64_t timeout_ms);
+
+  void Notify(LockEvent e, TxnId txn, const LockName& name, LockMode mode);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<LockName, Queue> queues_;
   std::unordered_map<TxnId, std::vector<LockName>> held_;
   LockStats stats_;
+
+  EventHook event_hook_;
+  LockInvariantChecker* checker_ = nullptr;
+  std::unique_ptr<LockInvariantChecker> default_checker_;
 };
 
 }  // namespace soreorg

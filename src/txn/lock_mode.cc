@@ -50,6 +50,12 @@ bool LockCovers(LockMode held, LockMode wanted) {
 }
 
 LockMode LockSupremum(LockMode held, LockMode wanted) {
+  // RS is never held (instant duration), so it contributes nothing to a
+  // conversion target. Before this guard, an RS input fell through every
+  // case below and promoted the result to X — which turned an "RS wait" by
+  // a txn that already held a lock into a wait for full exclusivity.
+  if (wanted == LockMode::kRS) return held;
+  if (held == LockMode::kRS) return wanted;
   if (LockCovers(held, wanted)) return held;
   if (LockCovers(wanted, held)) return wanted;
   // Remaining incomparable pairs. Without an SIX mode, promote to the

@@ -43,7 +43,10 @@ bool LockCompatible(LockMode granted, LockMode requested);
 bool LockCovers(LockMode held, LockMode wanted);
 
 /// The combined mode after a holder of `held` additionally requests
-/// `wanted` (lock conversion target). Never returns kRS.
+/// `wanted` (lock conversion target). kRS inputs act as identity: RS is an
+/// instant-duration wait mode that is never actually held, so it adds
+/// nothing to a conversion target (and LockManager::LockImpl never routes
+/// instant requests through conversion in the first place).
 LockMode LockSupremum(LockMode held, LockMode wanted);
 
 const char* LockModeName(LockMode m);

@@ -348,5 +348,157 @@ TEST(LockManagerTest, DistinctSpacesDoNotCollide) {
   EXPECT_TRUE(lm.TryLock(kT3, SideFileLock(), LockMode::kX).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Regression: instant requests must bypass lock conversion.
+// ---------------------------------------------------------------------------
+
+// A transaction already holding a lock on the name it issues an instant RS
+// against must not have the request routed through LockSupremum: the old
+// fallthrough promoted the conversion target to X, turning a should-be-
+// immediate RS return into a wait for full exclusivity against every other
+// holder (and a 2 s timeout here).
+TEST(LockManagerTest, InstantRsWhileHoldingIxDoesNotEscalateToX) {
+  LockManager lm;
+  LockName base = PageLock(11);
+  ASSERT_TRUE(lm.Lock(kT1, base, LockMode::kIX).ok());
+  ASSERT_TRUE(lm.Lock(kT2, base, LockMode::kIX).ok());
+
+  // RS is compatible with the other holder's IX, so this returns at once.
+  auto t0 = std::chrono::steady_clock::now();
+  Status s = lm.LockInstant(kT1, base, LockMode::kRS, /*timeout_ms=*/2000);
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_LT(ms, 1000);
+  EXPECT_GE(lm.stats().instant_grants, 1u);
+
+  // The instant request granted nothing: T1 still holds plain IX.
+  LockMode m;
+  ASSERT_TRUE(lm.HeldMode(kT1, base, &m));
+  EXPECT_EQ(m, LockMode::kIX);
+}
+
+// The instant request must still genuinely wait when the requested mode
+// conflicts — holding a lock of one's own is no shortcut past the
+// reorganizer's R lock.
+TEST(LockManagerTest, InstantRsWhileHoldingStillWaitsOutR) {
+  LockManager lm;
+  LockName base = PageLock(12);
+  ASSERT_TRUE(lm.Lock(kT1, base, LockMode::kIS).ok());
+  ASSERT_TRUE(lm.Lock(kReorgTxnId, base, LockMode::kR).ok());
+
+  std::atomic<bool> returned{false};
+  std::thread waiter([&]() {
+    ASSERT_TRUE(lm.LockInstant(kT1, base, LockMode::kRS).ok());
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());  // R vs RS: incompatible, must wait
+  lm.ReleaseAll(kReorgTxnId);
+  waiter.join();
+  EXPECT_TRUE(returned.load());
+  LockMode m;
+  ASSERT_TRUE(lm.HeldMode(kT1, base, &m));
+  EXPECT_EQ(m, LockMode::kIS);  // unchanged
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive property checks over all 49 (granted, requested) mode pairs:
+// LockCompatible, LockCovers and LockSupremum must agree with each other and
+// with the structural rules of Table 1 on every cell, not just the ones the
+// parameterized suite above spells out.
+// ---------------------------------------------------------------------------
+
+constexpr LockMode kAllModes[kNumLockModes] = {
+    LockMode::kIS, LockMode::kIX, LockMode::kS, LockMode::kX,
+    LockMode::kR,  LockMode::kRX, LockMode::kRS};
+
+TEST(LockModePropertyTest, RxRowAndColumnAreAllIncompatible) {
+  for (LockMode m : kAllModes) {
+    EXPECT_FALSE(LockCompatible(LockMode::kRX, m)) << LockModeName(m);
+    EXPECT_FALSE(LockCompatible(m, LockMode::kRX)) << LockModeName(m);
+  }
+}
+
+TEST(LockModePropertyTest, RsIsNeverCompatibleAsGrantedAndNeverCovers) {
+  // RS is never granted, so its granted-axis row is all-false, it covers
+  // nothing, and nothing covers it.
+  for (LockMode m : kAllModes) {
+    EXPECT_FALSE(LockCompatible(LockMode::kRS, m)) << LockModeName(m);
+    EXPECT_FALSE(LockCovers(LockMode::kRS, m)) << LockModeName(m);
+    EXPECT_FALSE(LockCovers(m, LockMode::kRS)) << LockModeName(m);
+  }
+}
+
+TEST(LockModePropertyTest, CompatibilityIsSymmetricAwayFromRs) {
+  // RS is the only asymmetric mode (instant-duration request-only); every
+  // other pair must commute.
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      if (a == LockMode::kRS || b == LockMode::kRS) continue;
+      EXPECT_EQ(LockCompatible(a, b), LockCompatible(b, a))
+          << LockModeName(a) << " vs " << LockModeName(b);
+    }
+  }
+}
+
+TEST(LockModePropertyTest, CoversIsReflexiveExceptRs) {
+  for (LockMode m : kAllModes) {
+    if (m == LockMode::kRS) continue;
+    EXPECT_TRUE(LockCovers(m, m)) << LockModeName(m);
+  }
+}
+
+TEST(LockModePropertyTest, CoveringModeConflictsAtLeastAsMuch) {
+  // If `strong` covers `weak`, anything compatible with `strong` must be
+  // compatible with `weak`: a stronger lock can only add conflicts.
+  for (LockMode strong : kAllModes) {
+    for (LockMode weak : kAllModes) {
+      if (!LockCovers(strong, weak)) continue;
+      for (LockMode m : kAllModes) {
+        if (LockCompatible(strong, m)) {
+          EXPECT_TRUE(LockCompatible(weak, m))
+              << LockModeName(strong) << " covers " << LockModeName(weak)
+              << " but conflicts less against " << LockModeName(m);
+        }
+      }
+    }
+  }
+}
+
+TEST(LockModePropertyTest, SupremumCoversBothInputsAndCommutes) {
+  for (LockMode a : kAllModes) {
+    for (LockMode b : kAllModes) {
+      if (a == LockMode::kRS || b == LockMode::kRS) continue;
+      LockMode s = LockSupremum(a, b);
+      EXPECT_EQ(s, LockSupremum(b, a))
+          << LockModeName(a) << " vs " << LockModeName(b);
+      EXPECT_TRUE(LockCovers(s, a))
+          << "sup(" << LockModeName(a) << "," << LockModeName(b) << ") = "
+          << LockModeName(s);
+      EXPECT_TRUE(LockCovers(s, b))
+          << "sup(" << LockModeName(a) << "," << LockModeName(b) << ") = "
+          << LockModeName(s);
+      // And therefore (by the covering property) the conversion target
+      // conflicts with at most what either input already allowed:
+      for (LockMode m : kAllModes) {
+        if (LockCompatible(s, m)) {
+          EXPECT_TRUE(LockCompatible(a, m) && LockCompatible(b, m));
+        }
+      }
+    }
+  }
+}
+
+TEST(LockModePropertyTest, RsActsAsIdentityInSupremum) {
+  // The S1 regression, stated as a matrix property: an RS input must never
+  // change a conversion target (it is never held, so it adds nothing).
+  for (LockMode m : kAllModes) {
+    EXPECT_EQ(LockSupremum(m, LockMode::kRS), m) << LockModeName(m);
+    EXPECT_EQ(LockSupremum(LockMode::kRS, m), m) << LockModeName(m);
+  }
+}
+
 }  // namespace
 }  // namespace soreorg
