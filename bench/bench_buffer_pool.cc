@@ -1,0 +1,129 @@
+// Buffer-pool hot-hit scaling: the sharded pool (default 16 shards) vs the
+// same pool forced to a single shard (the old global-mutex design). Each
+// thread fetches and unpins random pages out of a working set that fits
+// entirely in the pool, so every access is a hit and the measured cost is
+// synchronization, not I/O — the lock-convoy component that used to pollute
+// bench_concurrency.
+//
+// Flags: --threads=<max> (default 8), --ops=<per-thread ops> (default 400000,
+// CI smoke passes something tiny), --json=<path>.
+
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/storage/buffer_pool.h"
+
+using namespace soreorg;
+using namespace soreorg::bench;
+
+namespace {
+
+constexpr size_t kPoolPages = 2048;
+constexpr size_t kWorkingSet = 1024;  // < kPoolPages: all hits once warm
+
+struct Run {
+  double mops = 0;
+  uint64_t failures = 0;
+};
+
+Run HotHits(size_t num_shards, int threads, uint64_t ops_per_thread,
+            double dirty_fraction) {
+  MemEnv env;
+  DiskManager dm(&env, "pages");
+  if (!dm.Open().ok()) std::abort();
+  BufferPool bp(&dm, kPoolPages, nullptr, num_shards);
+
+  std::vector<PageId> pids;
+  for (size_t i = 0; i < kWorkingSet; ++i) {
+    PageId pid;
+    Page* page;
+    if (!bp.NewPage(&pid, &page).ok()) std::abort();
+    bp.UnpinPage(pid, true);
+    pids.push_back(pid);
+  }
+  bp.FlushAndSync();
+
+  std::vector<std::thread> workers;
+  std::vector<uint64_t> failures(threads, 0);
+  Timer t;
+  for (int ti = 0; ti < threads; ++ti) {
+    workers.emplace_back([&, ti] {
+      Random rng(1000 + ti);
+      uint64_t bad = 0;
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        PageId pid = pids[rng.Uniform(pids.size())];
+        Page* page;
+        if (!bp.FetchPage(pid, &page).ok()) {
+          ++bad;
+          continue;
+        }
+        bool dirty = dirty_fraction > 0 && rng.Bernoulli(dirty_fraction);
+        bp.UnpinPage(pid, dirty);
+      }
+      failures[ti] = bad;
+    });
+  }
+  for (auto& w : workers) w.join();
+  double secs = t.Seconds();
+
+  Run r;
+  r.mops = static_cast<double>(ops_per_thread) * threads / secs / 1e6;
+  for (uint64_t f : failures) r.failures += f;
+  return r;
+}
+
+// Best-of-2: a second process on the machine perturbs single runs badly
+// enough to invert comparisons; the max of two is a steadier estimator of
+// the uncontended cost.
+Run BestOf2(size_t num_shards, int threads, uint64_t ops_per_thread,
+            double dirty_fraction) {
+  Run a = HotHits(num_shards, threads, ops_per_thread, dirty_fraction);
+  Run b = HotHits(num_shards, threads, ops_per_thread, dirty_fraction);
+  return a.mops >= b.mops ? a : b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Header("buffer-pool hot-hit scaling (sharded vs single-shard)",
+         "not a paper figure — infrastructure: §8's concurrency claim is "
+         "only measurable if the buffer pool itself is not the bottleneck");
+
+  JsonReporter json("bench_buffer_pool", argc, argv);
+  const char* v = FlagValue(argc, argv, "--threads");
+  int max_threads = v ? std::atoi(v) : 8;
+  v = FlagValue(argc, argv, "--ops");
+  uint64_t ops = v ? std::strtoull(v, nullptr, 10) : 400000;
+
+  std::printf("pool %zu pages, working set %zu pages, %llu ops/thread\n\n",
+              kPoolPages, kWorkingSet, (unsigned long long)ops);
+  std::printf("%8s %10s %16s %16s %9s\n", "threads", "dirty%", "sharded Mops/s",
+              "1-shard Mops/s", "speedup");
+
+  for (double dirty : {0.0, 0.1}) {
+    for (int threads = 1; threads <= max_threads; threads *= 2) {
+      Run single = BestOf2(1, threads, ops, dirty);
+      Run sharded = BestOf2(0, threads, ops, dirty);
+      std::printf("%8d %10.0f %16.2f %16.2f %8.2fx\n", threads, dirty * 100,
+                  sharded.mops, single.mops, sharded.mops / single.mops);
+      if (sharded.failures + single.failures > 0) {
+        std::printf("  (failures: sharded=%llu single=%llu)\n",
+                    (unsigned long long)sharded.failures,
+                    (unsigned long long)single.failures);
+      }
+      char name[64];
+      std::snprintf(name, sizeof(name), "hot_hit/dirty=%.0f/shards=16",
+                    dirty * 100);
+      json.Add(name, sharded.mops, "Mops/s", threads);
+      std::snprintf(name, sizeof(name), "hot_hit/dirty=%.0f/shards=1",
+                    dirty * 100);
+      json.Add(name, single.mops, "Mops/s", threads);
+    }
+  }
+
+  std::printf("\nexpected shape: on a multicore machine the sharded pool "
+              "scales with threads\nwhile the single-shard pool flattens "
+              "(one mutex serializes every hit);\non a single core both "
+              "flatten and the ratio stays near 1.\n");
+  return json.Write() ? 0 : 1;
+}

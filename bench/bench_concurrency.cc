@@ -18,7 +18,8 @@ using namespace soreorg::bench;
 
 namespace {
 
-constexpr uint64_t kN = 20000;
+uint64_t g_n = 20000;
+double g_idle_window_secs = 2.0;
 constexpr double kRealtimeScale = 0.002;  // 1996 latencies scaled 500x down
 
 struct RunResult {
@@ -35,7 +36,7 @@ RunResult RunUnder(const std::function<Status(Database*)>& reorganize) {
   std::unique_ptr<Database> db;
   Database::Open(&env, options, &db);
   std::vector<uint64_t> survivors;
-  SparsifyByDeletion(db.get(), kN, 64, 0.95, 0.7, 10, 21, &survivors);
+  SparsifyByDeletion(db.get(), g_n, 64, 0.95, 0.7, 10, 21, &survivors);
   db->buffer_pool()->FlushAndSync();
 
   DiskModel model;
@@ -44,7 +45,7 @@ RunResult RunUnder(const std::function<Status(Database*)>& reorganize) {
 
   DriverOptions dopts;
   dopts.threads = 4;
-  dopts.key_space = kN;
+  dopts.key_space = g_n;
   ConcurrentDriver driver(db.get(), dopts);
   driver.Start();
   std::this_thread::sleep_for(std::chrono::milliseconds(300));  // warm up
@@ -57,7 +58,7 @@ RunResult RunUnder(const std::function<Status(Database*)>& reorganize) {
   double reorg_secs = t.Seconds();
   if (reorg_secs < 0.5) {
     // Baseline (no-op): observe an idle window of the same order.
-    while (t.Seconds() < 2.0) {
+    while (t.Seconds() < g_idle_window_secs) {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
     reorg_secs = t.Seconds();
@@ -80,11 +81,17 @@ RunResult RunUnder(const std::function<Status(Database*)>& reorganize) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Header("E2: user concurrency during reorganization (§8 vs Smith '90)",
          "the paper's units lock only the leaves being moved (plus the base "
          "page briefly); Smith '90 X-locks the whole file per block "
          "operation, shutting users out");
+
+  JsonReporter json("bench_concurrency", argc, argv);
+  if (HasFlag(argc, argv, "--quick")) {  // CI smoke: seconds, not minutes
+    g_n = 4000;
+    g_idle_window_secs = 0.5;
+  }
 
   // Baseline: no reorganization at all, same kind of window.
   RunResult base = RunUnder([](Database*) { return Status::OK(); });
@@ -112,8 +119,22 @@ int main() {
   row("paper", paper);
   row("Smith '90", smith);
 
+  auto emit = [&](const char* name, const RunResult& r) {
+    std::string prefix = std::string("e2/") + name;
+    json.Add(prefix + "/user_ops_per_sec", r.ops_per_sec, "ops/s", 4);
+    json.Add(prefix + "/reorg_secs", r.reorg_secs, "s", 4);
+    json.Add(prefix + "/max_latency_us", static_cast<double>(r.max_latency_us),
+             "us", 4);
+    json.Add(prefix + "/failures", static_cast<double>(r.failures), "count", 4);
+  };
+  emit("baseline", base);
+  emit("paper", paper);
+  emit("smith90", smith);
+  json.Add("e2/paper/throughput_vs_baseline",
+           100.0 * paper.ops_per_sec / base.ops_per_sec, "%", 4);
+
   std::printf("\nexpected shape: the paper's method keeps user throughput "
               "near the baseline;\nSmith '90 collapses it (whole-file X "
               "lock per block operation) and has the\nworst tail latency.\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

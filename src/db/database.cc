@@ -26,7 +26,8 @@ Status Database::Open(Env* env, DatabaseOptions options,
   LogManager* log = db->log_.get();
   db->bp_ = std::make_unique<BufferPool>(
       db->disk_.get(), db->options_.buffer_pool_pages,
-      [log](Lsn lsn) { return log->FlushTo(lsn); });
+      [log](Lsn lsn) { return log->FlushTo(lsn); },
+      db->options_.buffer_pool_shards);
 
   db->txn_mgr_ =
       std::make_unique<TransactionManager>(db->log_.get(), &db->locks_);

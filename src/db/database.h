@@ -36,6 +36,9 @@ namespace soreorg {
 
 struct DatabaseOptions {
   size_t buffer_pool_pages = 4096;
+  /// Buffer-pool shard count; 0 = auto (16, scaled down for small pools).
+  /// 1 gives the old single-mutex pool with exact global-LRU semantics.
+  size_t buffer_pool_shards = 0;
   /// WAL group-commit buffer cap (see LogManager::set_buffer_limit).
   size_t log_buffer_bytes = 256 * 1024;
   BTreeOptions tree;

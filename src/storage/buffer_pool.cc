@@ -4,62 +4,128 @@
 
 namespace soreorg {
 
-BufferPool::BufferPool(DiskManager* disk, size_t pool_size,
-                       WalFlushFn wal_flush)
-    : disk_(disk), wal_flush_(std::move(wal_flush)), frames_(pool_size) {}
+namespace {
+
+// murmur3 fmix32: PageIds are often sequential ranges (a leaf run being
+// compacted), and without mixing they would all land in neighbouring shards.
+uint32_t MixPageId(PageId id) {
+  uint32_t h = static_cast<uint32_t>(id);
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+}  // namespace
+
+size_t BufferPool::PickShardCount(size_t pool_size, size_t requested) {
+  if (pool_size == 0) pool_size = 1;
+  size_t shards;
+  if (requested == 0) {
+    shards = kDefaultShards;
+    while (shards > 1 && pool_size / shards < kMinFramesPerShard) shards >>= 1;
+  } else {
+    shards = 1;
+    while (shards < requested) shards <<= 1;
+    while (shards > 1 && shards > pool_size) shards >>= 1;
+  }
+  return shards;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_size, WalFlushFn wal_flush,
+                       size_t num_shards)
+    : disk_(disk),
+      wal_flush_(std::move(wal_flush)),
+      shards_(PickShardCount(pool_size, num_shards)),
+      shard_mask_(shards_.size() - 1),
+      total_frames_(pool_size == 0 ? 1 : pool_size) {
+  const size_t n_shards = shards_.size();
+  const size_t base = total_frames_ / n_shards;
+  const size_t rem = total_frames_ % n_shards;
+  for (size_t i = 0; i < n_shards; ++i) {
+    const size_t n = base + (i < rem ? 1 : 0);
+    shards_[i].frames = std::vector<Frame>(n);
+    shards_[i].free_frames.reserve(n);
+    // Push in reverse so pop_back hands out frame 0 first (matches the old
+    // pool's lowest-unused-frame-first behaviour).
+    for (size_t f = n; f-- > 0;) shards_[i].free_frames.push_back(f);
+  }
+}
+
+BufferPool::Shard& BufferPool::shard_for(PageId page_id) {
+  return shards_[MixPageId(page_id) & shard_mask_];
+}
 
 void BufferPool::SetFetchHook(std::function<void(PageId)> hook) {
   fetch_hook_ = std::move(hook);
 }
 
-void BufferPool::LockedTouch(size_t frame_idx) {
-  auto it = lru_pos_.find(frame_idx);
-  if (it != lru_pos_.end()) {
-    lru_.erase(it->second);
-    lru_pos_.erase(it);
+uint64_t BufferPool::hit_count() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) {
+    total += s.hits.load(std::memory_order_relaxed);
   }
-  if (frames_[frame_idx].page->pin_count() == 0) {
-    lru_.push_front(frame_idx);
-    lru_pos_[frame_idx] = lru_.begin();
+  return total;
+}
+
+uint64_t BufferPool::miss_count() const {
+  return misses_.load(std::memory_order_relaxed);
+}
+
+void BufferPool::ShardTouch(Shard* shard, size_t frame_idx) {
+  auto it = shard->lru_pos.find(frame_idx);
+  if (it != shard->lru_pos.end()) {
+    shard->lru.erase(it->second);
+    shard->lru_pos.erase(it);
+  }
+  if (shard->frames[frame_idx].page->pin_count() == 0) {
+    shard->lru.push_front(frame_idx);
+    shard->lru_pos[frame_idx] = shard->lru.begin();
   }
 }
 
-Status BufferPool::LockedGetVictim(size_t* frame_idx) {
-  // Prefer a never-used frame.
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    if (!frames_[i].in_use) {
-      *frame_idx = i;
-      return Status::OK();
-    }
+Status BufferPool::ShardGetVictim(Shard* shard, size_t* frame_idx) {
+  // Prefer a never-used (or dropped) frame.
+  if (!shard->free_frames.empty()) {
+    *frame_idx = shard->free_frames.back();
+    shard->free_frames.pop_back();
+    return Status::OK();
   }
   // Evict the least-recently-used unpinned frame.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+  for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
     size_t idx = *it;
-    Page* p = frames_[idx].page.get();
+    Page* p = shard->frames[idx].page.get();
     if (p->pin_count() > 0) continue;
     if (p->is_dirty()) {
-      Status s = LockedFlushFrame(idx);
-      if (!s.ok()) return s;
+      // shard → flush lock order; re-check under flush_mu_ because a
+      // cross-shard dependency flush may have cleaned it meanwhile.
+      std::lock_guard<std::mutex> fg(flush_mu_);
+      if (p->is_dirty()) {
+        Status s = FlushLockedWrite(p);
+        if (!s.ok()) return s;
+      }
     }
-    page_table_.erase(p->page_id());
-    lru_.erase(lru_pos_[idx]);
-    lru_pos_.erase(idx);
+    shard->page_table.erase(p->page_id());
+    shard->lru.erase(shard->lru_pos[idx]);
+    shard->lru_pos.erase(idx);
     *frame_idx = idx;
     return Status::OK();
   }
-  return Status::Busy("buffer pool exhausted (all pages pinned)");
+  return Status::Busy("buffer pool shard exhausted (all pages pinned)");
 }
 
-Status BufferPool::LockedSync() {
+Status BufferPool::FlushLockedSync() {
   Status s = disk_->SyncFile();
   if (!s.ok()) return s;
   for (PageId p : written_unsynced_) durable_.insert(p);
   written_unsynced_.clear();
-  LockedProcessDeferredDeallocs();
+  FlushLockedProcessDeferredDeallocs();
   return Status::OK();
 }
 
-void BufferPool::LockedProcessDeferredDeallocs() {
+void BufferPool::FlushLockedProcessDeferredDeallocs() {
   auto it = deferred_deallocs_.begin();
   while (it != deferred_deallocs_.end()) {
     if (durable_.count(it->second) > 0) {
@@ -71,188 +137,263 @@ void BufferPool::LockedProcessDeferredDeallocs() {
   }
 }
 
-Status BufferPool::LockedSatisfyWriteOrder(PageId page_id) {
-  auto dep_it = must_precede_.find(page_id);
-  if (dep_it == must_precede_.end()) return Status::OK();
-  // Copy: LockedWriteFrame mutates must_precede_ via recursion.
-  std::set<PageId> firsts = dep_it->second;
-  bool need_sync = false;
-  for (PageId first : firsts) {
-    if (durable_.count(first) > 0) continue;
-    auto pt = page_table_.find(first);
-    if (pt != page_table_.end() && frames_[pt->second].page->is_dirty()) {
-      Status s = LockedWriteFrame(pt->second);
-      if (!s.ok()) return s;
-    }
-    // Whether it was just written or written earlier without a sync, it now
-    // needs the barrier.
-    need_sync = true;
-  }
-  if (need_sync) {
-    Status s = LockedSync();
-    if (!s.ok()) return s;
-  }
-  must_precede_.erase(page_id);
-  return Status::OK();
-}
-
-Status BufferPool::LockedWriteFrame(size_t frame_idx) {
-  Page* p = frames_[frame_idx].page.get();
-  Status s = LockedSatisfyWriteOrder(p->page_id());
-  if (!s.ok()) return s;
+Status BufferPool::FlushLockedWriteOne(Page* p) {
+  const PageId pid = p->page_id();
   if (wal_flush_ && p->page_lsn() != kInvalidLsn) {
-    s = wal_flush_(p->page_lsn());
+    Status s = wal_flush_(p->page_lsn());
     if (!s.ok()) return s;
   }
-  s = disk_->WritePage(p->page_id(), *p);
+  Status s = disk_->WritePage(pid, *p);
   if (!s.ok()) return s;
   p->set_dirty(false);
-  durable_.erase(p->page_id());
-  written_unsynced_.insert(p->page_id());
+  dirty_pages_.erase(pid);
+  durable_.erase(pid);
+  written_unsynced_.insert(pid);
   return Status::OK();
 }
 
-Status BufferPool::LockedFlushFrame(size_t frame_idx) {
-  return LockedWriteFrame(frame_idx);
+Status BufferPool::FlushLockedWrite(Page* page) {
+  // Post-order walk of the write-order graph: every `first` is written, and
+  // its fsync barrier issued, before its dependent. Iterative on purpose:
+  // must_precede_ deliberately retains edges across frame drops (the id may
+  // come back from the free list as a new page), so after enough reuse the
+  // graph can contain a cycle, and the natural recursive form chases it
+  // until the stack overflows. A back edge to a page already on the current
+  // walk path is such a stale constraint — both orders cannot hold — and is
+  // skipped; the dependent's edge set is dropped wholesale once its barrier
+  // has been issued.
+  struct Node {
+    PageId pid;
+    bool expanded;
+  };
+  std::vector<Node> stack;
+  std::set<PageId> on_path;
+  stack.push_back({page->page_id(), false});
+  while (!stack.empty()) {
+    const PageId pid = stack.back().pid;
+    if (!stack.back().expanded) {
+      stack.back().expanded = true;
+      on_path.insert(pid);
+      auto dep = must_precede_.find(pid);
+      if (dep != must_precede_.end()) {
+        for (PageId first : dep->second) {
+          if (durable_.count(first) > 0) continue;
+          if (on_path.count(first) > 0) continue;  // stale cycle edge
+          stack.push_back({first, false});
+        }
+      }
+      continue;
+    }
+    stack.pop_back();
+    on_path.erase(pid);
+    // All of pid's dependencies have been written; issue the barrier if any
+    // of them is not durable yet (just written above, or written earlier
+    // without a sync).
+    auto dep = must_precede_.find(pid);
+    if (dep != must_precede_.end()) {
+      bool need_sync = false;
+      for (PageId first : dep->second) {
+        if (durable_.count(first) == 0) {
+          need_sync = true;
+          break;
+        }
+      }
+      if (need_sync) {
+        Status s = FlushLockedSync();
+        if (!s.ok()) return s;
+      }
+      must_precede_.erase(pid);
+    }
+    // The registry resolves pid to its frame regardless of which shard it
+    // lives in — no shard lock needed, so no cross-shard deadlock. Absent
+    // or already-clean pages (e.g. a dependency shared by two dependents)
+    // need no write; the ordering constraint still got its barrier above.
+    auto reg = dirty_pages_.find(pid);
+    if (reg != dirty_pages_.end() && reg->second->is_dirty()) {
+      Status s = FlushLockedWriteOne(reg->second);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushLockedWriteAllDirty() {
+  // Snapshot: FlushLockedWrite erases entries as it goes, and dependency
+  // flushes may clean pages we have not reached yet.
+  std::vector<Page*> dirty;
+  dirty.reserve(dirty_pages_.size());
+  for (const auto& entry : dirty_pages_) dirty.push_back(entry.second);
+  for (Page* p : dirty) {
+    if (!p->is_dirty()) continue;  // already written as someone's dependency
+    Status s = FlushLockedWrite(p);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
 }
 
 Status BufferPool::FetchPage(PageId page_id, Page** page) {
   if (fetch_hook_) fetch_hook_(page_id);
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    ++hits_;
-    Page* p = frames_[it->second].page.get();
+  Shard& shard = shard_for(page_id);
+  std::lock_guard<std::mutex> g(shard.mu);
+  auto it = shard.page_table.find(page_id);
+  if (it != shard.page_table.end()) {
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    Page* p = shard.frames[it->second].page.get();
     p->IncPin();
-    LockedTouch(it->second);
+    ShardTouch(&shard, it->second);
     *page = p;
     return Status::OK();
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   size_t idx;
-  Status s = LockedGetVictim(&idx);
+  Status s = ShardGetVictim(&shard, &idx);
   if (!s.ok()) return s;
-  Page* p = frames_[idx].page.get();
+  Page* p = shard.frames[idx].page.get();
   s = disk_->ReadPage(page_id, p);
-  if (!s.ok()) return s;
-  frames_[idx].in_use = true;
+  if (!s.ok()) {
+    shard.free_frames.push_back(idx);
+    return s;
+  }
   p->set_page_id(page_id);
   p->set_dirty(false);
   p->IncPin();
-  page_table_[page_id] = idx;
-  LockedTouch(idx);
+  shard.page_table[page_id] = idx;
+  ShardTouch(&shard, idx);
   *page = p;
   return Status::OK();
 }
 
 Status BufferPool::NewPage(PageId* page_id, Page** page) {
-  std::lock_guard<std::mutex> g(mu_);
   PageId pid;
   Status s = disk_->AllocatePage(&pid);
   if (!s.ok()) return s;
+  Shard& shard = shard_for(pid);
+  std::lock_guard<std::mutex> g(shard.mu);
   size_t idx;
-  s = LockedGetVictim(&idx);
+  s = ShardGetVictim(&shard, &idx);
   if (!s.ok()) {
     disk_->DeallocatePage(pid);
     return s;
   }
-  Page* p = frames_[idx].page.get();
+  Page* p = shard.frames[idx].page.get();
   p->Reset();
   p->set_page_id(pid);
   p->SetHeaderPageId(pid);
-  p->set_dirty(true);
   p->IncPin();
-  frames_[idx].in_use = true;
-  page_table_[pid] = idx;
-  LockedTouch(idx);
+  shard.page_table[pid] = idx;
+  ShardTouch(&shard, idx);
+  {
+    std::lock_guard<std::mutex> fg(flush_mu_);
+    p->set_dirty(true);
+    dirty_pages_[pid] = p;
+  }
   *page_id = pid;
   *page = p;
   return Status::OK();
 }
 
 Status BufferPool::NewFrameForExisting(PageId page_id, Page** page) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    Page* p = frames_[it->second].page.get();
+  Shard& shard = shard_for(page_id);
+  std::lock_guard<std::mutex> g(shard.mu);
+  auto it = shard.page_table.find(page_id);
+  if (it != shard.page_table.end()) {
+    Page* p = shard.frames[it->second].page.get();
     p->IncPin();
-    LockedTouch(it->second);
+    ShardTouch(&shard, it->second);
     *page = p;
     return Status::OK();
   }
   size_t idx;
-  Status s = LockedGetVictim(&idx);
+  Status s = ShardGetVictim(&shard, &idx);
   if (!s.ok()) return s;
-  Page* p = frames_[idx].page.get();
+  Page* p = shard.frames[idx].page.get();
   p->Reset();
   p->set_page_id(page_id);
   p->SetHeaderPageId(page_id);
-  p->set_dirty(true);
   p->IncPin();
-  frames_[idx].in_use = true;
-  page_table_[page_id] = idx;
-  LockedTouch(idx);
+  shard.page_table[page_id] = idx;
+  ShardTouch(&shard, idx);
+  {
+    std::lock_guard<std::mutex> fg(flush_mu_);
+    p->set_dirty(true);
+    dirty_pages_[page_id] = p;
+  }
   *page = p;
   return Status::OK();
 }
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) {
+  Shard& shard = shard_for(page_id);
+  std::lock_guard<std::mutex> g(shard.mu);
+  auto it = shard.page_table.find(page_id);
+  if (it == shard.page_table.end()) {
     return Status::InvalidArgument("unpin of unknown page");
   }
-  Page* p = frames_[it->second].page.get();
+  Page* p = shard.frames[it->second].page.get();
   if (p->pin_count() <= 0) {
     return Status::InvalidArgument("unpin of unpinned page");
   }
   if (dirty) {
+    // The dirty transition must happen under flush_mu_: a concurrent
+    // dependency flush could otherwise clean-and-deregister the page while
+    // we mark it dirty, leaving a dirty page the registry cannot see.
+    std::lock_guard<std::mutex> fg(flush_mu_);
     p->set_dirty(true);
     durable_.erase(page_id);
+    dirty_pages_[page_id] = p;
   }
   if (p->DecPin() == 1) {
-    LockedTouch(it->second);  // becomes evictable
+    ShardTouch(&shard, it->second);  // becomes evictable
   }
   return Status::OK();
 }
 
-Status BufferPool::LockedDropFrame(PageId page_id) {
-  auto it = page_table_.find(page_id);
-  if (it != page_table_.end()) {
-    Page* p = frames_[it->second].page.get();
+Status BufferPool::ShardDropFrame(Shard* shard, PageId page_id) {
+  auto it = shard->page_table.find(page_id);
+  if (it != shard->page_table.end()) {
+    size_t idx = it->second;
+    Page* p = shard->frames[idx].page.get();
     if (p->pin_count() > 0) {
       return Status::Busy("delete of pinned page");
     }
-    size_t idx = it->second;
-    page_table_.erase(it);
-    auto lp = lru_pos_.find(idx);
-    if (lp != lru_pos_.end()) {
-      lru_.erase(lp->second);
-      lru_pos_.erase(lp);
+    shard->page_table.erase(it);
+    auto lp = shard->lru_pos.find(idx);
+    if (lp != shard->lru_pos.end()) {
+      shard->lru.erase(lp->second);
+      shard->lru_pos.erase(lp);
     }
-    frames_[idx].in_use = false;
+    shard->free_frames.push_back(idx);
+    std::lock_guard<std::mutex> fg(flush_mu_);
     p->set_dirty(false);
+    dirty_pages_.erase(page_id);
+    written_unsynced_.erase(page_id);
+    durable_.erase(page_id);
+    return Status::OK();
   }
   // Keep any must_precede_ entry: if the page id is reused as a new
   // destination before its write-order dependency is durable, the stale
   // gate forces an (otherwise unnecessary but safe) fsync barrier — which
   // is exactly what protects the old image the dependency was guarding.
+  std::lock_guard<std::mutex> fg(flush_mu_);
   written_unsynced_.erase(page_id);
   durable_.erase(page_id);
   return Status::OK();
 }
 
 Status BufferPool::DeletePage(PageId page_id) {
-  std::lock_guard<std::mutex> g(mu_);
-  Status s = LockedDropFrame(page_id);
+  Shard& shard = shard_for(page_id);
+  std::lock_guard<std::mutex> g(shard.mu);
+  Status s = ShardDropFrame(&shard, page_id);
   if (!s.ok()) return s;
   return disk_->DeallocatePage(page_id);
 }
 
 Status BufferPool::DeletePageDeferred(PageId victim, PageId until) {
-  std::lock_guard<std::mutex> g(mu_);
-  Status s = LockedDropFrame(victim);
+  Shard& shard = shard_for(victim);
+  std::lock_guard<std::mutex> g(shard.mu);
+  Status s = ShardDropFrame(&shard, victim);
   if (!s.ok()) return s;
+  std::lock_guard<std::mutex> fg(flush_mu_);
   if (durable_.count(until) > 0) {
     return disk_->DeallocatePage(victim);
   }
@@ -261,62 +402,60 @@ Status BufferPool::DeletePageDeferred(PageId victim, PageId until) {
 }
 
 Status BufferPool::FlushPage(PageId page_id) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = page_table_.find(page_id);
-  if (it == page_table_.end()) {
+  Shard& shard = shard_for(page_id);
+  std::lock_guard<std::mutex> g(shard.mu);
+  auto it = shard.page_table.find(page_id);
+  if (it == shard.page_table.end()) {
     return Status::NotFound("flush of uncached page");
   }
-  if (!frames_[it->second].page->is_dirty()) return Status::OK();
-  return LockedFlushFrame(it->second);
+  Page* p = shard.frames[it->second].page.get();
+  if (!p->is_dirty()) return Status::OK();
+  std::lock_guard<std::mutex> fg(flush_mu_);
+  if (!p->is_dirty()) return Status::OK();  // cleaned as a dependency
+  return FlushLockedWrite(p);
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> g(mu_);
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    if (frames_[i].in_use && frames_[i].page->is_dirty()) {
-      Status s = LockedFlushFrame(i);
-      if (!s.ok()) return s;
-    }
-  }
-  return Status::OK();
+  std::lock_guard<std::mutex> fg(flush_mu_);
+  return FlushLockedWriteAllDirty();
 }
 
 Status BufferPool::FlushAndSync() {
-  std::lock_guard<std::mutex> g(mu_);
-  for (size_t i = 0; i < frames_.size(); ++i) {
-    if (frames_[i].in_use && frames_[i].page->is_dirty()) {
-      Status s = LockedFlushFrame(i);
-      if (!s.ok()) return s;
-    }
-  }
-  return LockedSync();
+  std::lock_guard<std::mutex> fg(flush_mu_);
+  Status s = FlushLockedWriteAllDirty();
+  if (!s.ok()) return s;
+  return FlushLockedSync();
 }
 
 Status BufferPool::ForcePages(const std::vector<PageId>& page_ids) {
-  std::lock_guard<std::mutex> g(mu_);
+  std::lock_guard<std::mutex> fg(flush_mu_);
   bool wrote = false;
   for (PageId pid : page_ids) {
-    auto it = page_table_.find(pid);
-    if (it == page_table_.end()) continue;
-    if (!frames_[it->second].page->is_dirty()) continue;
-    Status s = LockedFlushFrame(it->second);
+    auto it = dirty_pages_.find(pid);
+    if (it == dirty_pages_.end()) continue;  // uncached or already clean
+    Status s = FlushLockedWrite(it->second);
     if (!s.ok()) return s;
     wrote = true;
   }
   if (wrote || !written_unsynced_.empty()) {
-    return LockedSync();
+    return FlushLockedSync();
   }
   return Status::OK();
 }
 
 void BufferPool::AddWriteOrder(PageId first, PageId then) {
-  std::lock_guard<std::mutex> g(mu_);
+  std::lock_guard<std::mutex> fg(flush_mu_);
   must_precede_[then].insert(first);
 }
 
 bool BufferPool::IsDurable(PageId page_id) const {
-  std::lock_guard<std::mutex> g(mu_);
+  std::lock_guard<std::mutex> fg(flush_mu_);
   return durable_.count(page_id) > 0;
+}
+
+size_t BufferPool::deferred_dealloc_count() const {
+  std::lock_guard<std::mutex> fg(flush_mu_);
+  return deferred_deallocs_.size();
 }
 
 }  // namespace soreorg

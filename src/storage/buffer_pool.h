@@ -14,10 +14,36 @@
 // Durability here is write + fsync of the page file; the MemEnv crash model
 // discards everything after the last fsync, so the dependency machinery is
 // exercised for real by the crash tests.
+//
+// Concurrency: the pool is N-way sharded (N a power of two, default 16,
+// scaled down so small pools keep a useful number of frames per shard). A
+// page's shard is chosen by a mix of its PageId, and each shard owns its own
+// mutex, frame set, page table and LRU list — fetch/unpin/eviction of pages
+// in different shards never contend. The careful-writing state (write-order
+// edges, durability sets, deferred deallocs) is global by nature — an edge
+// may connect pages in different shards — so it lives behind a separate
+// flush-ordering mutex that also serializes every page write to disk.
+//
+// Lock order: shard mutex → flush mutex. A thread may take flush_mu_ while
+// holding (at most) one shard mutex; code holding flush_mu_ never takes a
+// shard mutex. Cross-shard write-order dependencies are flushed via the
+// dirty-page registry (PageId → Page*, maintained under flush_mu_), so
+// satisfying an edge whose `first` lives in another shard needs no second
+// shard lock and cannot self-deadlock. The registry's pointers are stable:
+// frames own their Page on the heap, and a dirty page cannot be evicted or
+// deleted without first passing through flush_mu_ (to be written or
+// deregistered), which excludes any concurrent registry user.
+//
+// The dirty flag transitions under flush_mu_ (set at dirty-unpin / NewPage
+// registration, cleared at write-out); it is atomic so shard-side code can
+// read it lock-free — a `false` read under the shard mutex is authoritative
+// (pages only become dirty via that shard's mutex), a `true` read must be
+// re-confirmed under flush_mu_ before acting on it.
 
 #ifndef SOREORG_STORAGE_BUFFER_POOL_H_
 #define SOREORG_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <functional>
 #include <list>
 #include <map>
@@ -39,13 +65,17 @@ class BufferPool {
   /// LogManager::FlushTo; may be empty when running without a WAL.
   using WalFlushFn = std::function<Status(Lsn)>;
 
-  BufferPool(DiskManager* disk, size_t pool_size,
-             WalFlushFn wal_flush = nullptr);
+  /// `num_shards` = 0 picks the default (16, halved until every shard keeps
+  /// at least kMinFramesPerShard frames, so tiny test pools degrade to a
+  /// single shard and preserve exact global-LRU semantics). An explicit
+  /// value is rounded up to a power of two and capped at pool_size.
+  BufferPool(DiskManager* disk, size_t pool_size, WalFlushFn wal_flush = nullptr,
+             size_t num_shards = 0);
 
-  /// Install `hook` to observe every FetchPage call. Invoked before the
-  /// pool's mutex is taken, so it may block — the deterministic schedule
-  /// harness (src/sim/schedule.h) uses this to pin interleavings at page
-  /// access boundaries. Install before concurrent use.
+  /// Install `hook` to observe every FetchPage call. Invoked before any pool
+  /// mutex (shard or flush) is taken, so it may block — the deterministic
+  /// schedule harness (src/sim/schedule.h) uses this to pin interleavings at
+  /// page access boundaries. Install before concurrent use.
   void SetFetchHook(std::function<void(PageId)> hook);
 
   /// Pin and return the page. Caller must UnpinPage (or use PageGuard).
@@ -82,46 +112,71 @@ class BufferPool {
   Status DeletePageDeferred(PageId victim, PageId until);
   /// True iff the page has been written and fsynced since it last went dirty.
   bool IsDurable(PageId page_id) const;
+  /// Deallocations still gated on a not-yet-durable page (test observability).
+  size_t deferred_dealloc_count() const;
 
-  size_t pool_size() const { return frames_.size(); }
-  uint64_t hit_count() const { return hits_; }
-  uint64_t miss_count() const { return misses_; }
+  size_t pool_size() const { return total_frames_; }
+  size_t shard_count() const { return shards_.size(); }
+  uint64_t hit_count() const;
+  uint64_t miss_count() const;
+
+  static constexpr size_t kDefaultShards = 16;
+  static constexpr size_t kMinFramesPerShard = 16;
 
  private:
   struct Frame {
     std::unique_ptr<Page> page = std::make_unique<Page>();
-    bool in_use = false;
   };
 
-  // All Locked* helpers require mu_ held.
-  Status LockedGetVictim(size_t* frame_idx);
-  Status LockedDropFrame(PageId page_id);
-  Status LockedFlushFrame(size_t frame_idx);
-  // Write dependencies of page_id first (with an fsync barrier when needed).
-  Status LockedSatisfyWriteOrder(PageId page_id);
-  Status LockedWriteFrame(size_t frame_idx);
-  Status LockedSync();
-  void LockedTouch(size_t frame_idx);
-  void LockedProcessDeferredDeallocs();
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Frame> frames;
+    std::unordered_map<PageId, size_t> page_table;
+    std::list<size_t> lru;  // front = most recent; only unpinned frames
+    std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos;
+    std::vector<size_t> free_frames;  // never-used / dropped frame indices
+    // Per-shard hit counter: one shared cache line for the hit count would
+    // serialize the hot read path the sharding just opened up.
+    std::atomic<uint64_t> hits{0};
+  };
+
+  static size_t PickShardCount(size_t pool_size, size_t requested);
+  Shard& shard_for(PageId page_id);
+
+  // Shard* helpers require that shard's mu held.
+  Status ShardGetVictim(Shard* shard, size_t* frame_idx);
+  Status ShardDropFrame(Shard* shard, PageId page_id);
+  void ShardTouch(Shard* shard, size_t frame_idx);
+
+  // FlushLocked* helpers require flush_mu_ held (and never take shard locks).
+  // FlushLockedWrite walks the write-order graph iteratively (cycle-safe:
+  // retained edges plus page-id reuse can close a loop) and writes every
+  // non-durable dependency, with fsync barriers, before the page itself.
+  Status FlushLockedWrite(Page* page);
+  // Single page image: WAL interlock, disk write, bookkeeping. No
+  // dependency handling — only FlushLockedWrite calls this.
+  Status FlushLockedWriteOne(Page* page);
+  Status FlushLockedWriteAllDirty();
+  Status FlushLockedSync();
+  void FlushLockedProcessDeferredDeallocs();
 
   DiskManager* disk_;
   WalFlushFn wal_flush_;
   std::function<void(PageId)> fetch_hook_;
 
-  mutable std::mutex mu_;
-  std::vector<Frame> frames_;
-  std::unordered_map<PageId, size_t> page_table_;
-  std::list<size_t> lru_;  // front = most recent; only unpinned frames listed
-  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  std::vector<Shard> shards_;  // size is a power of two; never resized
+  size_t shard_mask_;
+  size_t total_frames_;
 
-  // Careful writing state.
-  std::map<PageId, std::set<PageId>> must_precede_;   // then -> {first...}
+  // Careful-writing / flush-ordering state. Guarded by flush_mu_.
+  mutable std::mutex flush_mu_;
+  std::unordered_map<PageId, Page*> dirty_pages_;    // dirty ∩ cached
+  std::map<PageId, std::set<PageId>> must_precede_;  // then -> {first...}
   std::set<PageId> written_unsynced_;
   std::set<PageId> durable_;
   std::vector<std::pair<PageId, PageId>> deferred_deallocs_;  // (victim,until)
 
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::atomic<uint64_t> misses_{0};
 };
 
 /// RAII pin holder.
@@ -139,6 +194,7 @@ class PageGuard {
     dirty_ = o.dirty_;
     o.pool_ = nullptr;
     o.page_ = nullptr;
+    o.dirty_ = false;
     return *this;
   }
   ~PageGuard() { Release(); }

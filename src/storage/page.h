@@ -86,8 +86,13 @@ class Page {
   void IncPin() { pin_count_.fetch_add(1, std::memory_order_relaxed); }
   int DecPin() { return pin_count_.fetch_sub(1, std::memory_order_relaxed); }
 
-  bool is_dirty() const { return dirty_; }
-  void set_dirty(bool d) { dirty_ = d; }
+  // Atomic so the sharded buffer pool can read it without a lock; the
+  // transitions themselves are serialized by the pool's flush mutex (see
+  // buffer_pool.h for the authoritative-read rules). Release/acquire, not
+  // relaxed: an evictor that reads `false` and reuses the frame must see the
+  // flusher's byte reads as completed.
+  bool is_dirty() const { return dirty_.load(std::memory_order_acquire); }
+  void set_dirty(bool d) { dirty_.store(d, std::memory_order_release); }
 
   /// Short-duration physical latch (distinct from logical locks held in the
   /// LockManager). Shared for readers, exclusive for modifiers.
@@ -99,7 +104,7 @@ class Page {
   alignas(8) char data_[kPageSize];
   PageId page_id_ = kInvalidPageId;
   std::atomic<int> pin_count_{0};
-  bool dirty_ = false;
+  std::atomic<bool> dirty_{false};
   std::shared_mutex latch_;
 };
 

@@ -132,7 +132,8 @@ TEST_F(ReorgRegressionTest, RepeatedFullReorganizationsUnderChurn) {
     }
   });
   for (int round = 0; round < 3; ++round) {
-    ASSERT_TRUE(db_->Reorganize().ok()) << "round " << round;
+    Status rs = db_->Reorganize();
+    ASSERT_TRUE(rs.ok()) << "round " << round << " status=" << rs.ToString();
     ASSERT_TRUE(db_->tree()->CheckConsistency().ok()) << "round " << round;
   }
   stop.store(true);
