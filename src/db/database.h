@@ -39,6 +39,9 @@ struct DatabaseOptions {
   /// Buffer-pool shard count; 0 = auto (16, scaled down for small pools).
   /// 1 gives the old single-mutex pool with exact global-LRU semantics.
   size_t buffer_pool_shards = 0;
+  /// Lock-table stripe count; 0 = auto (16). 1 gives the old single-mutex
+  /// lock manager with exact legacy wait/wake semantics.
+  size_t lock_table_stripes = 0;
   /// WAL group-commit buffer cap (see LogManager::set_buffer_limit).
   size_t log_buffer_bytes = 256 * 1024;
   BTreeOptions tree;
@@ -104,7 +107,8 @@ class Database {
   const DatabaseOptions& options() const { return options_; }
 
  private:
-  explicit Database(DatabaseOptions options) : options_(std::move(options)) {}
+  explicit Database(DatabaseOptions options)
+      : options_(std::move(options)), locks_(options_.lock_table_stripes) {}
 
   DatabaseOptions options_;
   Env* env_ = nullptr;

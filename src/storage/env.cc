@@ -66,6 +66,7 @@ class MemFile : public File {
         state_->volatile_image.size() > state_->durable.size()
             ? state_->volatile_image.size() - state_->durable.size()
             : 0;
+    env_->sync_count_ += 1;
     state_->durable = state_->volatile_image;
     return Status::OK();
   }
@@ -147,6 +148,11 @@ bool MemEnv::crashed() const {
 uint64_t MemEnv::bytes_synced() const {
   std::lock_guard<std::mutex> g(mu_);
   return bytes_synced_;
+}
+
+uint64_t MemEnv::sync_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return sync_count_;
 }
 
 bool MemEnv::BeforeWrite(const std::string& name, const char* op, size_t n) {

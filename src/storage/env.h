@@ -89,6 +89,10 @@ class MemEnv : public Env {
   /// Total bytes synced across all files (for I/O accounting in benches).
   uint64_t bytes_synced() const;
 
+  /// Number of Sync() calls across all files — the "fsync count" oracle for
+  /// the group-commit tests (N concurrent commits should cost ~1 sync).
+  uint64_t sync_count() const;
+
   // Implementation details, public for the MemFile helper in env.cc.
   struct FileState {
     std::string durable;
@@ -100,6 +104,7 @@ class MemEnv : public Env {
   bool BeforeWrite(const std::string& name, const char* op, size_t n);
 
   uint64_t bytes_synced_ = 0;
+  uint64_t sync_count_ = 0;
 
  private:
   mutable std::mutex mu_;

@@ -110,13 +110,17 @@ void LockInvariantChecker::CheckVictimChoice(TxnId requester, TxnId victim,
 void LockInvariantChecker::CheckKillRound(const LockManager& lm, TxnId victim) {
   // Every pending wait of the victim must now carry the killed mark; a live
   // wait would let the cycle the victim was chosen to break survive intact.
-  for (const auto& [name, q] : lm.queues_) {
-    for (const LockManager::Waiter* w : q.waiters) {
-      if (w->txn == victim && !w->killed && !w->granted) {
-        Report("surviving-cycle",
-               "victim txn " + std::to_string(victim) +
-                   " still has a live wait for " + LockModeName(w->mode) +
-                   " on " + NameString(name) + " after its kill round");
+  // Called from the deadlock sweep with every stripe mutex held, so the
+  // walk over the striped table is a consistent snapshot.
+  for (const auto& stripe : lm.stripes_) {
+    for (const auto& [name, q] : stripe.queues) {
+      for (const LockManager::Waiter* w : q.waiters) {
+        if (w->txn == victim && !w->killed && !w->granted) {
+          Report("surviving-cycle",
+                 "victim txn " + std::to_string(victim) +
+                     " still has a live wait for " + LockModeName(w->mode) +
+                     " on " + NameString(name) + " after its kill round");
+        }
       }
     }
   }

@@ -48,7 +48,18 @@ const char* LockEventName(LockEvent e) {
   return "?";
 }
 
-LockManager::LockManager() {
+size_t LockManager::PickStripeCount(size_t requested) {
+  if (requested == 0) return kDefaultStripes;
+  size_t n = 1;
+  while (n < requested && n < kMaxStripes) n <<= 1;
+  return n;
+}
+
+LockManager::LockManager(size_t num_stripes)
+    : stripes_(PickStripeCount(num_stripes)),
+      stripe_mask_(stripes_.size() - 1),
+      held_shards_(stripes_.size()),
+      held_mask_(held_shards_.size() - 1) {
 #if !defined(NDEBUG) || defined(SOREORG_LOCK_INVARIANTS)
   // Debug / sanitizer builds machine-check the Table-1 protocol on every
   // grant; a violation aborts. Release builds leave checker_ null, so every
@@ -59,6 +70,49 @@ LockManager::LockManager() {
 }
 
 LockManager::~LockManager() = default;
+
+size_t LockManager::StripeIndex(const LockName& name) const {
+  // murmur3 fmix64 over the packed (space, id): cheap and well-mixed, so
+  // sequential page ids spread across stripes instead of marching through
+  // one.
+  uint64_t h = (static_cast<uint64_t>(name.space) << 56) ^ name.id;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return static_cast<size_t>(h) & stripe_mask_;
+}
+
+LockManager::Stripe& LockManager::stripe_for(const LockName& name) {
+  return stripes_[StripeIndex(name)];
+}
+const LockManager::Stripe& LockManager::stripe_for(const LockName& name) const {
+  return stripes_[StripeIndex(name)];
+}
+
+LockManager::HeldShard& LockManager::held_shard_for(TxnId txn) {
+  return held_shards_[static_cast<size_t>(txn) & held_mask_];
+}
+const LockManager::HeldShard& LockManager::held_shard_for(TxnId txn) const {
+  return held_shards_[static_cast<size_t>(txn) & held_mask_];
+}
+
+void LockManager::RecordHeld(TxnId txn, const LockName& name) {
+  HeldShard& hs = held_shard_for(txn);
+  std::lock_guard<std::mutex> g(hs.mu);
+  hs.held[txn].push_back(name);
+}
+
+void LockManager::ForgetHeld(TxnId txn, const LockName& name) {
+  HeldShard& hs = held_shard_for(txn);
+  std::lock_guard<std::mutex> g(hs.mu);
+  auto it = hs.held.find(txn);
+  if (it == hs.held.end()) return;
+  auto& names = it->second;
+  names.erase(std::remove(names.begin(), names.end(), name), names.end());
+  if (names.empty()) hs.held.erase(it);
+}
 
 void LockManager::SetEventHook(EventHook hook) {
   event_hook_ = std::move(hook);
@@ -78,17 +132,29 @@ void LockManager::LockedCheckHolders(const LockName& name, const Queue& q) {
 }
 
 void LockManager::CheckInvariantsNow() {
-  std::lock_guard<std::mutex> g(mu_);
-  for (const auto& [name, q] : queues_) LockedCheckHolders(name, q);
+  for (auto& st : stripes_) {
+    std::lock_guard<std::mutex> g(st.mu);
+    for (const auto& [name, q] : st.queues) LockedCheckHolders(name, q);
+  }
 }
 
 void LockManager::ForceGrantForTest(TxnId txn, const LockName& name,
                                     LockMode mode) {
-  std::lock_guard<std::mutex> g(mu_);
-  Queue& q = queues_[name];
-  if (q.holders.find(txn) == q.holders.end()) held_[txn].push_back(name);
+  Stripe& st = stripe_for(name);
+  std::lock_guard<std::mutex> g(st.mu);
+  Queue& q = st.queues[name];
+  if (q.holders.find(txn) == q.holders.end()) RecordHeld(txn, name);
   q.holders[txn] = mode;
   LockedCheckHolders(name, q);
+}
+
+size_t LockManager::QueueCount() const {
+  size_t n = 0;
+  for (const auto& st : stripes_) {
+    std::lock_guard<std::mutex> g(st.mu);
+    n += st.queues.size();
+  }
+  return n;
 }
 
 bool LockManager::LockedConflictsWithGrantedRX(const Queue& q, TxnId txn,
@@ -119,23 +185,51 @@ bool LockManager::LockedGrantable(const Queue& q, TxnId txn, LockMode mode,
   return true;
 }
 
-void LockManager::LockedBuildWaitsFor(
+void LockManager::LockedWakeWaiters(Queue& q) {
+  for (Waiter* w : q.waiters) {
+    if (w->signaled) continue;
+    bool wake = w->killed;
+    if (!wake && !w->instant &&
+        LockedConflictsWithGrantedRX(q, w->txn, w->mode)) {
+      wake = true;  // must wake to observe the back-off condition
+    }
+    if (!wake &&
+        LockedGrantable(q, w->txn, w->mode, w->converting || w->instant, w)) {
+      wake = true;
+    }
+    if (wake) {
+      w->signaled = true;
+      w->cv.notify_one();
+    }
+  }
+}
+
+void LockManager::LockedMaybeEraseQueue(
+    Stripe& stripe, std::map<LockName, Queue>::iterator qit) {
+  if (qit->second.holders.empty() && qit->second.waiters.empty()) {
+    stripe.queues.erase(qit);
+  }
+}
+
+void LockManager::AllLockedBuildWaitsFor(
     std::unordered_map<TxnId, std::vector<TxnId>>* graph) const {
-  for (const auto& [name, q] : queues_) {
-    for (auto it = q.waiters.begin(); it != q.waiters.end(); ++it) {
-      const Waiter* w = *it;
-      if (w->killed || w->granted) continue;
-      for (const auto& [holder, held] : q.holders) {
-        if (holder != w->txn && !LockCompatible(held, w->mode)) {
-          (*graph)[w->txn].push_back(holder);
+  for (const auto& st : stripes_) {
+    for (const auto& [name, q] : st.queues) {
+      for (auto it = q.waiters.begin(); it != q.waiters.end(); ++it) {
+        const Waiter* w = *it;
+        if (w->killed || w->granted) continue;
+        for (const auto& [holder, held] : q.holders) {
+          if (holder != w->txn && !LockCompatible(held, w->mode)) {
+            (*graph)[w->txn].push_back(holder);
+          }
         }
-      }
-      if (!w->converting) {
-        for (auto jt = q.waiters.begin(); jt != it; ++jt) {
-          const Waiter* e = *jt;
-          if (e->txn == w->txn || e->instant || e->killed) continue;
-          if (!LockCompatible(e->mode, w->mode)) {
-            (*graph)[w->txn].push_back(e->txn);
+        if (!w->converting) {
+          for (auto jt = q.waiters.begin(); jt != it; ++jt) {
+            const Waiter* e = *jt;
+            if (e->txn == w->txn || e->instant || e->killed) continue;
+            if (!LockCompatible(e->mode, w->mode)) {
+              (*graph)[w->txn].push_back(e->txn);
+            }
           }
         }
       }
@@ -143,15 +237,21 @@ void LockManager::LockedBuildWaitsFor(
   }
 }
 
-TxnId LockManager::LockedFindDeadlockVictim(TxnId txn,
-                                            bool* reorg_in_cycle) const {
+TxnId LockManager::GlobalDeadlockSweep(TxnId txn) {
+  // Consistent snapshot: every stripe mutex, ascending index order. The
+  // sweeping thread holds no stripe mutex on entry (its own Waiter stays
+  // queued, keeping it visible in the graph).
+  std::vector<std::unique_lock<std::mutex>> guards;
+  guards.reserve(stripes_.size());
+  for (auto& st : stripes_) guards.emplace_back(st.mu);
+
   std::unordered_map<TxnId, std::vector<TxnId>> graph;
-  LockedBuildWaitsFor(&graph);
+  AllLockedBuildWaitsFor(&graph);
 
   // DFS from txn looking for a cycle back to txn; collect the cycle members.
   std::vector<TxnId> stack;
   std::unordered_map<TxnId, int> state;  // 0 unseen, 1 on-stack, 2 done
-  *reorg_in_cycle = false;
+  bool reorg_in_cycle = false;
   bool found = false;
 
   std::function<void(TxnId)> dfs = [&](TxnId u) {
@@ -166,7 +266,7 @@ TxnId LockManager::LockedFindDeadlockVictim(TxnId txn,
           // Cycle closed back to the requester.
           found = true;
           for (TxnId m : stack) {
-            if (m == kReorgTxnId) *reorg_in_cycle = true;
+            if (m == kReorgTxnId) reorg_in_cycle = true;
           }
           return;
         }
@@ -180,9 +280,28 @@ TxnId LockManager::LockedFindDeadlockVictim(TxnId txn,
   };
   dfs(txn);
   if (!found) return kInvalidTxnId;
+
   // Paper policy: the reorganizer always loses a deadlock.
-  if (*reorg_in_cycle || txn == kReorgTxnId) return kReorgTxnId;
-  return txn;
+  TxnId victim =
+      (reorg_in_cycle || txn == kReorgTxnId) ? kReorgTxnId : txn;
+  if (checker_) checker_->CheckVictimChoice(txn, victim, reorg_in_cycle);
+  if (victim != txn) {
+    // Kill the victim's pending waits wherever they are queued; the stripes
+    // are all held, so the kill round is atomic with the detection.
+    for (auto& st : stripes_) {
+      for (auto& [qname, queue] : st.queues) {
+        for (Waiter* other : queue.waiters) {
+          if (other->txn == victim && !other->killed) {
+            other->killed = true;
+            other->signaled = true;
+            other->cv.notify_one();
+          }
+        }
+      }
+    }
+    if (checker_) checker_->CheckKillRound(*this, victim);
+  }
+  return victim;
 }
 
 Status LockManager::LockImpl(TxnId txn, const LockName& name, LockMode mode,
@@ -207,8 +326,10 @@ Status LockManager::LockImpl(TxnId txn, const LockName& name, LockMode mode,
 
 Status LockManager::LockWait(TxnId txn, const LockName& name, LockMode mode,
                              bool instant, int64_t timeout_ms) {
-  std::unique_lock<std::mutex> lk(mu_);
-  Queue& q = queues_[name];
+  Stripe& stripe = stripe_for(name);
+  std::unique_lock<std::mutex> lk(stripe.mu);
+  auto qit = stripe.queues.try_emplace(name).first;
+  Queue& q = qit->second;
 
   auto h = q.holders.find(txn);
   bool converting = (h != q.holders.end());
@@ -223,7 +344,7 @@ Status LockManager::LockWait(TxnId txn, const LockName& name, LockMode mode,
     target = mode;
   } else {
     if (converting && LockCovers(h->second, mode)) {
-      ++stats_.acquisitions;
+      stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
     target = converting ? LockSupremum(h->second, mode) : mode;
@@ -232,7 +353,7 @@ Status LockManager::LockWait(TxnId txn, const LockName& name, LockMode mode,
 
   // Back-off on a granted-RX conflict (paper §4): do not enqueue.
   if (!instant && LockedConflictsWithGrantedRX(q, txn, target)) {
-    ++stats_.backoffs;
+    stats_.backoffs.fetch_add(1, std::memory_order_relaxed);
     return Status::Backoff("RX held by reorganizer");
   }
 
@@ -241,35 +362,43 @@ Status LockManager::LockWait(TxnId txn, const LockName& name, LockMode mode,
   // against holders only.)
   if (LockedGrantable(q, txn, target, converting || instant, nullptr)) {
     if (instant) {
-      ++stats_.instant_grants;
+      // An instant grant holds nothing; drop the node if try_emplace above
+      // materialized it for an otherwise-unlocked name.
+      LockedMaybeEraseQueue(stripe, qit);
+      stats_.instant_grants.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
     q.holders[txn] = target;
-    if (!converting) held_[txn].push_back(name);
-    if (converting) ++stats_.conversions;
-    ++stats_.acquisitions;
+    if (!converting) RecordHeld(txn, name);
+    if (converting) stats_.conversions.fetch_add(1, std::memory_order_relaxed);
+    stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
     LockedCheckHolders(name, q);
+    // An RX grant flips already-queued conflicting waiters from "waiting"
+    // to "must back off"; hand them their wake tokens now.
+    if (target == LockMode::kRX) LockedWakeWaiters(q);
     return Status::OK();
   }
 
   // Slow path: enqueue and wait. Conversions go to the front of the queue.
-  Waiter w{txn, target, converting, instant, false, false};
+  Waiter w{txn, target, converting, instant};
   if (converting) {
     q.waiters.push_front(&w);
   } else {
     q.waiters.push_back(&w);
   }
-  ++stats_.waits;
+  stats_.waits.fetch_add(1, std::memory_order_relaxed);
 
   // Tell the schedule harness (if any) that this request is about to block;
-  // the hook must run without mu_ held, and every condition is re-checked
-  // after relocking, so the brief unlock is safe.
+  // the hook must run without the stripe mutex held, and every condition is
+  // re-checked after relocking, so the brief unlock is safe.
   if (event_hook_) {
     lk.unlock();
     Notify(LockEvent::kWait, txn, name, mode);
     lk.lock();
   }
 
+  // Our departure (grant, back-off, kill, timeout) can unblock FIFO
+  // followers, so every exit wakes the queue after unlinking.
   auto remove_self = [&]() {
     auto it = std::find(q.waiters.begin(), q.waiters.end(), &w);
     if (it != q.waiters.end()) q.waiters.erase(it);
@@ -281,66 +410,68 @@ Status LockManager::LockWait(TxnId txn, const LockName& name, LockMode mode,
   while (true) {
     if (w.killed) {
       remove_self();
-      cv_.notify_all();
-      ++stats_.deadlocks;
+      LockedWakeWaiters(q);
+      LockedMaybeEraseQueue(stripe, qit);
+      stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
       return Status::Deadlock("chosen as deadlock victim");
     }
     // Re-check the RX back-off condition: an RX lock may have been granted
     // while we waited.
     if (!instant && LockedConflictsWithGrantedRX(q, txn, target)) {
       remove_self();
-      cv_.notify_all();
-      ++stats_.backoffs;
+      LockedWakeWaiters(q);
+      LockedMaybeEraseQueue(stripe, qit);
+      stats_.backoffs.fetch_add(1, std::memory_order_relaxed);
       return Status::Backoff("RX granted while waiting");
     }
     if (LockedGrantable(q, txn, target, converting || instant, &w)) {
       remove_self();
       if (instant) {
-        cv_.notify_all();
-        ++stats_.instant_grants;
+        LockedWakeWaiters(q);
+        LockedMaybeEraseQueue(stripe, qit);
+        stats_.instant_grants.fetch_add(1, std::memory_order_relaxed);
         return Status::OK();
       }
       q.holders[txn] = target;
-      if (!converting) held_[txn].push_back(name);
-      if (converting) ++stats_.conversions;
-      ++stats_.acquisitions;
+      if (!converting) RecordHeld(txn, name);
+      if (converting)
+        stats_.conversions.fetch_add(1, std::memory_order_relaxed);
+      stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
       LockedCheckHolders(name, q);
-      cv_.notify_all();
+      LockedWakeWaiters(q);
       return Status::OK();
     }
 
-    // About to block: deadlock check.
-    bool reorg_in_cycle = false;
-    TxnId victim = LockedFindDeadlockVictim(txn, &reorg_in_cycle);
-    if (victim != kInvalidTxnId) {
-      if (checker_) checker_->CheckVictimChoice(txn, victim, reorg_in_cycle);
-      if (victim == txn) {
-        remove_self();
-        cv_.notify_all();
-        ++stats_.deadlocks;
-        return Status::Deadlock("requester lost deadlock");
-      }
-      // Kill the victim's pending waits wherever they are queued.
-      for (auto& [qname, queue] : queues_) {
-        for (Waiter* other : queue.waiters) {
-          if (other->txn == victim) other->killed = true;
-        }
-      }
-      if (checker_) checker_->CheckKillRound(*this, victim);
-      cv_.notify_all();
-      // Loop around: the victim's departure may make us grantable.
+    // About to block: deadlock check over a global snapshot. This drops the
+    // stripe mutex (all-stripes lock order); our Waiter stays queued, and
+    // anything that happens meanwhile leaves a wake token (signaled/killed)
+    // that the wait predicate below observes, so no wakeup is lost.
+    lk.unlock();
+    TxnId victim = GlobalDeadlockSweep(txn);
+    lk.lock();
+    if (victim == txn) {
+      remove_self();
+      LockedWakeWaiters(q);
+      LockedMaybeEraseQueue(stripe, qit);
+      stats_.deadlocks.fetch_add(1, std::memory_order_relaxed);
+      return Status::Deadlock("requester lost deadlock");
     }
+    // A non-self victim (the reorganizer) was killed inside the sweep; its
+    // exit and the subsequent release of its locks will signal us. Sleep.
 
     if (timeout_ms >= 0) {
-      if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      if (!w.cv.wait_until(lk, deadline,
+                           [&] { return w.signaled || w.killed; })) {
         remove_self();
-        cv_.notify_all();
-        ++stats_.timeouts;
+        LockedWakeWaiters(q);
+        LockedMaybeEraseQueue(stripe, qit);
+        stats_.timeouts.fetch_add(1, std::memory_order_relaxed);
         return Status::TimedOut("lock wait timeout");
       }
     } else {
-      cv_.wait(lk);
+      w.cv.wait(lk, [&] { return w.signaled || w.killed; });
     }
+    w.signaled = false;
   }
 }
 
@@ -354,29 +485,34 @@ Status LockManager::TryLock(TxnId txn, const LockName& name, LockMode mode) {
   Notify(LockEvent::kRequest, txn, name, mode);
   Status result;
   {
-    std::lock_guard<std::mutex> g(mu_);
-    Queue& q = queues_[name];
+    Stripe& stripe = stripe_for(name);
+    std::lock_guard<std::mutex> g(stripe.mu);
+    auto qit = stripe.queues.try_emplace(name).first;
+    Queue& q = qit->second;
     auto h = q.holders.find(txn);
     bool converting = (h != q.holders.end());
     if (converting && LockCovers(h->second, mode)) {
-      ++stats_.acquisitions;
+      stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
       result = Status::OK();
     } else {
       LockMode target = converting ? LockSupremum(h->second, mode) : mode;
       if (LockedConflictsWithGrantedRX(q, txn, target)) {
-        ++stats_.backoffs;
+        stats_.backoffs.fetch_add(1, std::memory_order_relaxed);
         result = Status::Backoff("RX held by reorganizer");
       } else if (!LockedGrantable(q, txn, target, converting, nullptr)) {
         result = Status::Busy("lock unavailable");
       } else {
         q.holders[txn] = target;
-        if (!converting) held_[txn].push_back(name);
-        if (converting) ++stats_.conversions;
-        ++stats_.acquisitions;
+        if (!converting) RecordHeld(txn, name);
+        if (converting)
+          stats_.conversions.fetch_add(1, std::memory_order_relaxed);
+        stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
         LockedCheckHolders(name, q);
+        if (target == LockMode::kRX) LockedWakeWaiters(q);
         result = Status::OK();
       }
     }
+    if (!result.ok()) LockedMaybeEraseQueue(stripe, qit);
   }
   Notify(result.ok() ? LockEvent::kGranted
                      : (result.IsBackoff() ? LockEvent::kBackoff
@@ -392,45 +528,56 @@ Status LockManager::LockInstant(TxnId txn, const LockName& name, LockMode mode,
 
 Status LockManager::Unlock(TxnId txn, const LockName& name) {
   {
-    std::lock_guard<std::mutex> g(mu_);
-    auto qi = queues_.find(name);
-    if (qi == queues_.end() || qi->second.holders.erase(txn) == 0) {
+    Stripe& stripe = stripe_for(name);
+    std::lock_guard<std::mutex> g(stripe.mu);
+    auto qit = stripe.queues.find(name);
+    if (qit == stripe.queues.end() || qit->second.holders.erase(txn) == 0) {
       return Status::NotFound("lock not held");
     }
-    auto& names = held_[txn];
-    names.erase(std::remove(names.begin(), names.end(), name), names.end());
-    cv_.notify_all();
+    ForgetHeld(txn, name);
+    LockedWakeWaiters(qit->second);
+    LockedMaybeEraseQueue(stripe, qit);
   }
   Notify(LockEvent::kUnlock, txn, name, LockMode::kIS);
   return Status::OK();
 }
 
 Status LockManager::Downgrade(TxnId txn, const LockName& name, LockMode mode) {
-  std::lock_guard<std::mutex> g(mu_);
-  auto qi = queues_.find(name);
-  if (qi == queues_.end()) return Status::NotFound("lock not held");
-  auto h = qi->second.holders.find(txn);
-  if (h == qi->second.holders.end()) return Status::NotFound("lock not held");
+  Stripe& stripe = stripe_for(name);
+  std::lock_guard<std::mutex> g(stripe.mu);
+  auto qit = stripe.queues.find(name);
+  if (qit == stripe.queues.end()) return Status::NotFound("lock not held");
+  auto h = qit->second.holders.find(txn);
+  if (h == qit->second.holders.end()) return Status::NotFound("lock not held");
   if (!LockCovers(h->second, mode)) {
     return Status::InvalidArgument("not a downgrade");
   }
   h->second = mode;
-  LockedCheckHolders(name, qi->second);
-  cv_.notify_all();
+  LockedCheckHolders(name, qit->second);
+  LockedWakeWaiters(qit->second);
   return Status::OK();
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
+  std::vector<LockName> names;
   {
-    std::lock_guard<std::mutex> g(mu_);
-    auto it = held_.find(txn);
-    if (it == held_.end()) return;
-    for (const LockName& name : it->second) {
-      auto qi = queues_.find(name);
-      if (qi != queues_.end()) qi->second.holders.erase(txn);
-    }
-    held_.erase(it);
-    cv_.notify_all();
+    HeldShard& hs = held_shard_for(txn);
+    std::lock_guard<std::mutex> g(hs.mu);
+    auto it = hs.held.find(txn);
+    if (it == hs.held.end()) return;
+    names = std::move(it->second);
+    hs.held.erase(it);
+  }
+  // Only the stripes of names this transaction actually held are touched,
+  // one at a time — release-all never takes the whole table.
+  for (const LockName& name : names) {
+    Stripe& stripe = stripe_for(name);
+    std::lock_guard<std::mutex> g(stripe.mu);
+    auto qit = stripe.queues.find(name);
+    if (qit == stripe.queues.end()) continue;
+    qit->second.holders.erase(txn);
+    LockedWakeWaiters(qit->second);
+    LockedMaybeEraseQueue(stripe, qit);
   }
   Notify(LockEvent::kReleaseAll, txn, LockName{LockSpace::kTree, 0},
          LockMode::kIS);
@@ -438,29 +585,43 @@ void LockManager::ReleaseAll(TxnId txn) {
 
 bool LockManager::HeldMode(TxnId txn, const LockName& name,
                            LockMode* mode) const {
-  std::lock_guard<std::mutex> g(mu_);
-  auto qi = queues_.find(name);
-  if (qi == queues_.end()) return false;
-  auto h = qi->second.holders.find(txn);
-  if (h == qi->second.holders.end()) return false;
+  const Stripe& stripe = stripe_for(name);
+  std::lock_guard<std::mutex> g(stripe.mu);
+  auto qit = stripe.queues.find(name);
+  if (qit == stripe.queues.end()) return false;
+  auto h = qit->second.holders.find(txn);
+  if (h == qit->second.holders.end()) return false;
   *mode = h->second;
   return true;
 }
 
 size_t LockManager::HeldCount(TxnId txn) const {
-  std::lock_guard<std::mutex> g(mu_);
-  auto it = held_.find(txn);
-  return it == held_.end() ? 0 : it->second.size();
+  const HeldShard& hs = held_shard_for(txn);
+  std::lock_guard<std::mutex> g(hs.mu);
+  auto it = hs.held.find(txn);
+  return it == hs.held.end() ? 0 : it->second.size();
 }
 
 LockStats LockManager::stats() const {
-  std::lock_guard<std::mutex> g(mu_);
-  return stats_;
+  LockStats s;
+  s.acquisitions = stats_.acquisitions.load(std::memory_order_relaxed);
+  s.waits = stats_.waits.load(std::memory_order_relaxed);
+  s.backoffs = stats_.backoffs.load(std::memory_order_relaxed);
+  s.deadlocks = stats_.deadlocks.load(std::memory_order_relaxed);
+  s.timeouts = stats_.timeouts.load(std::memory_order_relaxed);
+  s.instant_grants = stats_.instant_grants.load(std::memory_order_relaxed);
+  s.conversions = stats_.conversions.load(std::memory_order_relaxed);
+  return s;
 }
 
 void LockManager::ResetStats() {
-  std::lock_guard<std::mutex> g(mu_);
-  stats_ = LockStats{};
+  stats_.acquisitions.store(0, std::memory_order_relaxed);
+  stats_.waits.store(0, std::memory_order_relaxed);
+  stats_.backoffs.store(0, std::memory_order_relaxed);
+  stats_.deadlocks.store(0, std::memory_order_relaxed);
+  stats_.timeouts.store(0, std::memory_order_relaxed);
+  stats_.instant_grants.store(0, std::memory_order_relaxed);
+  stats_.conversions.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace soreorg

@@ -30,10 +30,36 @@
 //
 // Lock names are (space, id) pairs so trees, pages, records, and the side
 // file live in one namespace.
+//
+// Concurrency: the lock table is striped N ways (N a power of two, default
+// 16; 1 restores the old single-mutex manager). A name's stripe is chosen by
+// a mix of (space, id) and each stripe owns its own mutex and queue map, so
+// acquire/release on names in different stripes never contend. Wakeups are
+// per-waiter: every queued Waiter carries its own condition variable plus a
+// `signaled` token, and an unlock/downgrade/release wakes only the waiters
+// whose request became grantable (or that must wake to observe a kill or an
+// RX back-off) — no broadcast, no thundering herd. The per-transaction
+// held-lock index is sharded by TxnId behind its own mutexes, so ReleaseAll
+// touches only the stripes of the names it actually holds.
+//
+// Lock order (violations deadlock the manager itself):
+//   1. Multi-stripe operations — deadlock sweeps with their kill rounds,
+//      CheckInvariantsNow, QueueCount — take stripe mutexes in ascending
+//      stripe-index order while holding no other manager mutex. A blocked
+//      request therefore *releases* its own stripe before sweeping (its
+//      Waiter stays queued; every condition is re-checked after relocking).
+//   2. A held-shard mutex may be taken while holding one stripe mutex
+//      (stripe → held-shard); code holding a held-shard mutex never takes a
+//      stripe mutex.
+//   3. Stripe mutexes are leaves with respect to the rest of the system:
+//      the manager calls out (event hooks) only with all of its mutexes
+//      released, and callers on the commit path go lock table → WAL, never
+//      the reverse (see DESIGN.md §9).
 
 #ifndef SOREORG_TXN_LOCK_MANAGER_H_
 #define SOREORG_TXN_LOCK_MANAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -91,8 +117,8 @@ struct LockStats {
   uint64_t conversions = 0;
 };
 
-/// Observable milestones of a lock request's lifetime, emitted (with the
-/// manager's mutex released) to the installed event hook. kWait fires once
+/// Observable milestones of a lock request's lifetime, emitted (with every
+/// manager mutex released) to the installed event hook. kWait fires once
 /// when a request first blocks; a terminal event (kGranted / kInstantGranted
 /// / kBusy / kBackoff / kDeadlock / kTimeout) fires when the call returns.
 enum class LockEvent : uint8_t {
@@ -115,7 +141,11 @@ class LockManager {
   using EventHook =
       std::function<void(LockEvent, TxnId, const LockName&, LockMode)>;
 
-  LockManager();
+  /// `num_stripes` = 0 picks the default (16). An explicit value is rounded
+  /// up to a power of two and capped at kMaxStripes; 1 collapses the table
+  /// to the old single-mutex manager (exact legacy semantics, used by the
+  /// stripe-equivalence tests).
+  explicit LockManager(size_t num_stripes = 0);
   ~LockManager();
 
   /// Acquire (or convert to) `mode` on `name`. Blocks until granted.
@@ -148,11 +178,20 @@ class LockManager {
   /// Number of distinct lock names currently held by txn.
   size_t HeldCount(TxnId txn) const;
 
+  /// Number of stripes the table was built with (power of two).
+  size_t stripe_count() const { return stripes_.size(); }
+
+  /// Total number of lock queues currently materialized across all stripes.
+  /// Empty queues are erased on last release, so this tracks *live* names —
+  /// the regression oracle for the old leak where every name ever locked
+  /// left a map entry behind.
+  size_t QueueCount() const;
+
   LockStats stats() const;
   void ResetStats();
 
   /// Install `hook` to receive LockEvent notifications. The hook is invoked
-  /// with the manager's mutex released, so it may block (the schedule
+  /// with every manager mutex released, so it may block (the schedule
   /// harness does). Install before concurrent use; not thread-safe against
   /// in-flight operations.
   void SetEventHook(EventHook hook);
@@ -172,16 +211,25 @@ class LockManager {
   /// checker's negative tests; production code must never call it.
   void ForceGrantForTest(TxnId txn, const LockName& name, LockMode mode);
 
+  static constexpr size_t kDefaultStripes = 16;
+  static constexpr size_t kMaxStripes = 256;
+
  private:
   friend class LockInvariantChecker;
 
   struct Waiter {
+    Waiter(TxnId t, LockMode m, bool conv, bool inst)
+        : txn(t), mode(m), converting(conv), instant(inst) {}
     TxnId txn;
     LockMode mode;
     bool converting = false;
     bool instant = false;
     bool granted = false;
-    bool killed = false;  // deadlock victim
+    bool killed = false;    // deadlock victim
+    bool signaled = false;  // wake token, consumed by the owning thread
+    // Per-waiter wakeup channel: exactly one thread ever waits on it, and
+    // it is signaled only by code holding this waiter's stripe mutex.
+    std::condition_variable cv;
   };
 
   struct Queue {
@@ -189,7 +237,29 @@ class LockManager {
     std::list<Waiter*> waiters;
   };
 
-  // All Locked* helpers require mu_ held.
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<LockName, Queue> queues;
+  };
+
+  struct HeldShard {
+    mutable std::mutex mu;
+    std::unordered_map<TxnId, std::vector<LockName>> held;
+  };
+
+  static size_t PickStripeCount(size_t requested);
+  size_t StripeIndex(const LockName& name) const;
+  Stripe& stripe_for(const LockName& name);
+  const Stripe& stripe_for(const LockName& name) const;
+  HeldShard& held_shard_for(TxnId txn);
+  const HeldShard& held_shard_for(TxnId txn) const;
+
+  // Held-lock index maintenance. May be called with the name's stripe mutex
+  // held (stripe → held-shard order) but never the other way around.
+  void RecordHeld(TxnId txn, const LockName& name);
+  void ForgetHeld(TxnId txn, const LockName& name);
+
+  // All Locked* helpers require the queue's stripe mutex held.
   // `skip_queue_check` bypasses the FIFO no-overtaking rule: conversions
   // have priority over fresh waiters, and instant-duration requests are
   // judged against holders only ("would the mode be grantable right now").
@@ -197,12 +267,27 @@ class LockManager {
                        bool skip_queue_check, const Waiter* self) const;
   bool LockedConflictsWithGrantedRX(const Queue& q, TxnId txn,
                                     LockMode mode) const;
-  // Detect a waits-for cycle involving `txn`; returns the victim (or
-  // kInvalidTxnId if no cycle) and whether the reorganizer was a member.
-  TxnId LockedFindDeadlockVictim(TxnId txn, bool* reorg_in_cycle) const;
-  void LockedBuildWaitsFor(
-      std::unordered_map<TxnId, std::vector<TxnId>>* graph) const;
+  // Hand a wake token to every waiter that could now make progress: its
+  // request became grantable, it was killed, or a granted RX now forces it
+  // to wake and return kBackoff. The woken thread re-evaluates under the
+  // stripe mutex, so a spurious token is harmless.
+  void LockedWakeWaiters(Queue& q);
+  // Erase the queue's map node once it has neither holders nor waiters
+  // (waiting threads hold a reference to the node across their sleep, so a
+  // queue with waiters is never erased).
+  void LockedMaybeEraseQueue(Stripe& stripe,
+                             std::map<LockName, Queue>::iterator qit);
   void LockedCheckHolders(const LockName& name, const Queue& q);
+
+  // Deadlock detection over a consistent multi-stripe snapshot: takes every
+  // stripe mutex in ascending index order (caller must hold none), builds
+  // the global waits-for graph, and — if `txn` closed a cycle — applies the
+  // paper's victim policy. A victim other than `txn` has all of its pending
+  // waits killed (and woken) before the stripes are released, so the cycle
+  // cannot survive the sweep. Returns the victim or kInvalidTxnId.
+  TxnId GlobalDeadlockSweep(TxnId txn);
+  void AllLockedBuildWaitsFor(
+      std::unordered_map<TxnId, std::vector<TxnId>>* graph) const;
 
   Status LockImpl(TxnId txn, const LockName& name, LockMode mode,
                   bool instant, int64_t timeout_ms);
@@ -212,11 +297,21 @@ class LockManager {
 
   void Notify(LockEvent e, TxnId txn, const LockName& name, LockMode mode);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<LockName, Queue> queues_;
-  std::unordered_map<TxnId, std::vector<LockName>> held_;
-  LockStats stats_;
+  std::vector<Stripe> stripes_;  // size is a power of two; never resized
+  size_t stripe_mask_;
+  std::vector<HeldShard> held_shards_;  // sized with stripes_; never resized
+  size_t held_mask_;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> acquisitions{0};
+    std::atomic<uint64_t> waits{0};
+    std::atomic<uint64_t> backoffs{0};
+    std::atomic<uint64_t> deadlocks{0};
+    std::atomic<uint64_t> timeouts{0};
+    std::atomic<uint64_t> instant_grants{0};
+    std::atomic<uint64_t> conversions{0};
+  };
+  AtomicStats stats_;
 
   EventHook event_hook_;
   LockInvariantChecker* checker_ = nullptr;

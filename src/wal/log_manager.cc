@@ -35,30 +35,37 @@ Status LogManager::Open() {
   // is 0).
   file_->Truncate(off);
   next_lsn_ = off + 1;
-  flushed_lsn_ = off + 1;
+  flushed_lsn_.store(off + 1, std::memory_order_release);
   buffer_start_ = off;
   buffer_.clear();
   return Status::OK();
 }
 
 Status LogManager::Append(LogRecord* rec) {
-  std::lock_guard<std::mutex> g(mu_);
-  std::string body;
-  rec->AppendTo(&body);
-  rec->lsn = next_lsn_;
+  bool over_limit;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    std::string body;
+    rec->AppendTo(&body);
+    rec->lsn = next_lsn_;
 
-  char hdr[kFrameHeader];
-  EncodeFixed32(hdr, static_cast<uint32_t>(body.size()));
-  EncodeFixed32(hdr + 4, crc32c::Mask(crc32c::Value(body.data(), body.size())));
-  buffer_.append(hdr, kFrameHeader);
-  buffer_.append(body);
+    char hdr[kFrameHeader];
+    EncodeFixed32(hdr, static_cast<uint32_t>(body.size()));
+    EncodeFixed32(hdr + 4,
+                  crc32c::Mask(crc32c::Value(body.data(), body.size())));
+    buffer_.append(hdr, kFrameHeader);
+    buffer_.append(body);
 
-  next_lsn_ += kFrameHeader + body.size();
-  bytes_appended_ += kFrameHeader + body.size();
-  ++records_appended_;
-  type_bytes_[static_cast<size_t>(rec->type) % type_bytes_.size()] +=
-      kFrameHeader + body.size();
-  if (buffer_.size() > buffer_limit_) return LockedFlush();
+    next_lsn_ += kFrameHeader + body.size();
+    bytes_appended_ += kFrameHeader + body.size();
+    ++records_appended_;
+    type_bytes_[static_cast<size_t>(rec->type) % type_bytes_.size()] +=
+        kFrameHeader + body.size();
+    over_limit = buffer_.size() > buffer_limit_;
+  }
+  // The capacity flush runs through the group-commit path with mu_
+  // released, so serialization never waits on file I/O.
+  if (over_limit) return Flush();
   return Status::OK();
 }
 
@@ -70,30 +77,67 @@ void LogManager::set_buffer_limit(size_t bytes) {
 Status LogManager::AppendAndFlush(LogRecord* rec) {
   Status s = Append(rec);
   if (!s.ok()) return s;
-  return Flush();
-}
-
-Status LogManager::LockedFlush() {
-  if (buffer_.empty()) return Status::OK();
-  Status s = file_->Write(buffer_start_, buffer_);
-  if (!s.ok()) return s;
-  s = file_->Sync();
-  if (!s.ok()) return s;
-  buffer_start_ += buffer_.size();
-  buffer_.clear();
-  flushed_lsn_ = buffer_start_ + 1;
-  return Status::OK();
+  return FlushTo(rec->lsn);
 }
 
 Status LogManager::Flush() {
-  std::lock_guard<std::mutex> g(mu_);
-  return LockedFlush();
+  Lsn target;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    target = next_lsn_ - 1;  // durable through the last appended byte
+  }
+  return FlushTo(target);
 }
 
 Status LogManager::FlushTo(Lsn lsn) {
-  std::lock_guard<std::mutex> g(mu_);
-  if (lsn < flushed_lsn_) return Status::OK();
-  return LockedFlush();
+  // Fast path: already durable. One atomic load — the buffer pool probes
+  // this on every page write, so it must never touch a mutex or the file.
+  if (lsn < flushed_lsn_.load(std::memory_order_acquire)) return Status::OK();
+
+  std::unique_lock<std::mutex> cl(commit_mu_);
+  while (true) {
+    if (lsn < flushed_lsn_.load(std::memory_order_acquire)) {
+      // A leader's batch covered us while we queued: group commit — we ride
+      // its fsync and pay nothing.
+      return Status::OK();
+    }
+    if (!flush_active_) break;
+    commit_cv_.wait(cl);
+  }
+  flush_active_ = true;
+
+  // Leader: steal the whole buffer. Appends continue behind the steal at
+  // their already-assigned offsets.
+  std::string batch;
+  Lsn batch_off = 0;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    batch.swap(buffer_);
+    batch_off = buffer_start_;
+    buffer_start_ += batch.size();
+  }
+
+  Status s = Status::OK();
+  if (!batch.empty()) {
+    cl.unlock();  // write+fsync with no LogManager mutex held
+    s = file_->Write(batch_off, batch);
+    if (s.ok()) s = file_->Sync();
+    cl.lock();
+    if (s.ok()) {
+      flushed_lsn_.store(batch_off + batch.size() + 1,
+                         std::memory_order_release);
+      sync_batches_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Splice the batch back so the failure is retryable; records appended
+      // behind the steal keep their offsets.
+      std::lock_guard<std::mutex> g(mu_);
+      buffer_.insert(0, batch);
+      buffer_start_ -= batch.size();
+    }
+  }
+  flush_active_ = false;
+  commit_cv_.notify_all();
+  return s;
 }
 
 Lsn LogManager::NextLsn() const {
@@ -102,8 +146,7 @@ Lsn LogManager::NextLsn() const {
 }
 
 Lsn LogManager::FlushedLsn() const {
-  std::lock_guard<std::mutex> g(mu_);
-  return flushed_lsn_;
+  return flushed_lsn_.load(std::memory_order_acquire);
 }
 
 Status LogManager::ReadAll(std::vector<LogRecord>* out, Lsn start_lsn) const {
@@ -171,11 +214,16 @@ uint64_t LogManager::bytes_for_type(LogType t) const {
   return type_bytes_[static_cast<size_t>(t) % type_bytes_.size()];
 }
 
+uint64_t LogManager::sync_batches() const {
+  return sync_batches_.load(std::memory_order_relaxed);
+}
+
 void LogManager::ResetStats() {
   std::lock_guard<std::mutex> g(mu_);
   bytes_appended_ = 0;
   records_appended_ = 0;
   type_bytes_.fill(0);
+  sync_batches_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace soreorg

@@ -92,11 +92,21 @@ TEST(LockModeTest, SupremumUpgrades) {
 }
 
 // ---------------------------------------------------------------------------
-// Runtime behaviour
+// Runtime behaviour — every test runs against stripe counts {1, 2, 16}.
+// Stripe = 1 collapses the table to the old single-mutex manager, so the
+// suite doubles as the legacy-equivalence oracle for the striped rewrite.
 // ---------------------------------------------------------------------------
 
-TEST(LockManagerTest, SharedThenExclusiveBlocks) {
-  LockManager lm;
+class StripedLockManagerTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Stripes, StripedLockManagerTest,
+                         ::testing::Values(1, 2, 16),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "s" + std::to_string(info.param);
+                         });
+
+TEST_P(StripedLockManagerTest, SharedThenExclusiveBlocks) {
+  LockManager lm{GetParam()};
   LockName n = PageLock(1);
   ASSERT_TRUE(lm.Lock(kT1, n, LockMode::kS).ok());
   ASSERT_TRUE(lm.Lock(kT2, n, LockMode::kS).ok());
@@ -107,8 +117,8 @@ TEST(LockManagerTest, SharedThenExclusiveBlocks) {
   EXPECT_TRUE(lm.TryLock(kT3, n, LockMode::kX).ok());
 }
 
-TEST(LockManagerTest, BlockedExclusiveGrantedOnRelease) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, BlockedExclusiveGrantedOnRelease) {
+  LockManager lm{GetParam()};
   LockName n = PageLock(1);
   ASSERT_TRUE(lm.Lock(kT1, n, LockMode::kS).ok());
   std::atomic<bool> granted{false};
@@ -123,8 +133,8 @@ TEST(LockManagerTest, BlockedExclusiveGrantedOnRelease) {
   EXPECT_TRUE(granted.load());
 }
 
-TEST(LockManagerTest, RxConflictBacksOffInsteadOfQueueing) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, RxConflictBacksOffInsteadOfQueueing) {
+  LockManager lm{GetParam()};
   LockName leaf = PageLock(5);
   ASSERT_TRUE(lm.Lock(kReorgTxnId, leaf, LockMode::kRX).ok());
   // A reader (or updater) hitting a granted RX must get kBackoff at once.
@@ -136,8 +146,8 @@ TEST(LockManagerTest, RxConflictBacksOffInsteadOfQueueing) {
   EXPECT_TRUE(lm.Lock(kT1, leaf, LockMode::kS).ok());
 }
 
-TEST(LockManagerTest, InstantRsWaitsOutReorganizerNeverGranted) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, InstantRsWaitsOutReorganizerNeverGranted) {
+  LockManager lm{GetParam()};
   LockName base = PageLock(9);
   ASSERT_TRUE(lm.Lock(kReorgTxnId, base, LockMode::kR).ok());
 
@@ -157,20 +167,20 @@ TEST(LockManagerTest, InstantRsWaitsOutReorganizerNeverGranted) {
   EXPECT_FALSE(lm.HeldMode(kT1, base, &m));  // never actually granted
 }
 
-TEST(LockManagerTest, RCompatibleWithReadersButNotUpdaters) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, RCompatibleWithReadersButNotUpdaters) {
+  LockManager lm{GetParam()};
   LockName base = PageLock(9);
   ASSERT_TRUE(lm.Lock(kReorgTxnId, base, LockMode::kR).ok());
   EXPECT_TRUE(lm.TryLock(kT1, base, LockMode::kS).ok());   // readers flow
   EXPECT_TRUE(lm.TryLock(kT2, base, LockMode::kX).IsBusy());  // updaters wait
   // And the other direction: S held, reorganizer gets its R.
-  LockManager lm2;
+  LockManager lm2{GetParam()};
   ASSERT_TRUE(lm2.Lock(kT1, base, LockMode::kS).ok());
   EXPECT_TRUE(lm2.TryLock(kReorgTxnId, base, LockMode::kR).ok());
 }
 
-TEST(LockManagerTest, RToXUpgradeWaitsForReaders) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, RToXUpgradeWaitsForReaders) {
+  LockManager lm{GetParam()};
   LockName base = PageLock(9);
   ASSERT_TRUE(lm.Lock(kReorgTxnId, base, LockMode::kR).ok());
   ASSERT_TRUE(lm.Lock(kT1, base, LockMode::kS).ok());
@@ -191,8 +201,8 @@ TEST(LockManagerTest, RToXUpgradeWaitsForReaders) {
   EXPECT_GE(lm.stats().conversions, 1u);
 }
 
-TEST(LockManagerTest, ConversionHasPriorityOverFreshWaiters) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, ConversionHasPriorityOverFreshWaiters) {
+  LockManager lm{GetParam()};
   LockName n = PageLock(2);
   ASSERT_TRUE(lm.Lock(kT1, n, LockMode::kS).ok());
   ASSERT_TRUE(lm.Lock(kT2, n, LockMode::kS).ok());
@@ -222,8 +232,8 @@ TEST(LockManagerTest, ConversionHasPriorityOverFreshWaiters) {
   t3.join();
 }
 
-TEST(LockManagerTest, FairnessNoOvertakingQueuedExclusive) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, FairnessNoOvertakingQueuedExclusive) {
+  LockManager lm{GetParam()};
   LockName n = PageLock(2);
   ASSERT_TRUE(lm.Lock(kT1, n, LockMode::kS).ok());
   std::thread t2([&]() {
@@ -237,8 +247,8 @@ TEST(LockManagerTest, FairnessNoOvertakingQueuedExclusive) {
   t2.join();
 }
 
-TEST(LockManagerTest, DeadlockDetectedVictimChosen) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, DeadlockDetectedVictimChosen) {
+  LockManager lm{GetParam()};
   LockName a = PageLock(1), b = PageLock(2);
   ASSERT_TRUE(lm.Lock(kT1, a, LockMode::kX).ok());
   ASSERT_TRUE(lm.Lock(kT2, b, LockMode::kX).ok());
@@ -260,8 +270,8 @@ TEST(LockManagerTest, DeadlockDetectedVictimChosen) {
   EXPECT_GE(lm.stats().deadlocks, 1u);
 }
 
-TEST(LockManagerTest, ReorganizerIsAlwaysTheDeadlockVictim) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, ReorganizerIsAlwaysTheDeadlockVictim) {
+  LockManager lm{GetParam()};
   LockName a = PageLock(1), b = PageLock(2);
   // User txn holds a, reorganizer holds b (RX).
   ASSERT_TRUE(lm.Lock(kT1, a, LockMode::kX).ok());
@@ -291,8 +301,8 @@ TEST(LockManagerTest, ReorganizerIsAlwaysTheDeadlockVictim) {
   EXPECT_TRUE(user_ok.load());           // the user transaction survived
 }
 
-TEST(LockManagerTest, TimeoutReturnsTimedOut) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, TimeoutReturnsTimedOut) {
+  LockManager lm{GetParam()};
   LockName n = PageLock(4);
   ASSERT_TRUE(lm.Lock(kT1, n, LockMode::kX).ok());
   auto t0 = std::chrono::steady_clock::now();
@@ -305,8 +315,8 @@ TEST(LockManagerTest, TimeoutReturnsTimedOut) {
   EXPECT_EQ(lm.stats().timeouts, 1u);
 }
 
-TEST(LockManagerTest, DowngradeReleasesWaiters) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, DowngradeReleasesWaiters) {
+  LockManager lm{GetParam()};
   LockName n = PageLock(6);
   ASSERT_TRUE(lm.Lock(kT1, n, LockMode::kX).ok());
   std::atomic<bool> got{false};
@@ -321,8 +331,8 @@ TEST(LockManagerTest, DowngradeReleasesWaiters) {
   EXPECT_TRUE(got.load());
 }
 
-TEST(LockManagerTest, ReleaseAllDropsEverything) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, ReleaseAllDropsEverything) {
+  LockManager lm{GetParam()};
   for (uint32_t i = 0; i < 10; ++i) {
     ASSERT_TRUE(lm.Lock(kT1, PageLock(i), LockMode::kS).ok());
   }
@@ -332,8 +342,8 @@ TEST(LockManagerTest, ReleaseAllDropsEverything) {
   EXPECT_TRUE(lm.TryLock(kT2, PageLock(3), LockMode::kX).ok());
 }
 
-TEST(LockManagerTest, HeldLockIsReentrant) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, HeldLockIsReentrant) {
+  LockManager lm{GetParam()};
   LockName n = PageLock(8);
   ASSERT_TRUE(lm.Lock(kT1, n, LockMode::kX).ok());
   ASSERT_TRUE(lm.Lock(kT1, n, LockMode::kS).ok());  // covered
@@ -341,8 +351,8 @@ TEST(LockManagerTest, HeldLockIsReentrant) {
   EXPECT_EQ(lm.HeldCount(kT1), 1u);
 }
 
-TEST(LockManagerTest, DistinctSpacesDoNotCollide) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, DistinctSpacesDoNotCollide) {
+  LockManager lm{GetParam()};
   ASSERT_TRUE(lm.Lock(kT1, TreeLock(1), LockMode::kX).ok());
   EXPECT_TRUE(lm.TryLock(kT2, PageLock(1), LockMode::kX).ok());
   EXPECT_TRUE(lm.TryLock(kT3, SideFileLock(), LockMode::kX).ok());
@@ -357,8 +367,8 @@ TEST(LockManagerTest, DistinctSpacesDoNotCollide) {
 // fallthrough promoted the conversion target to X, turning a should-be-
 // immediate RS return into a wait for full exclusivity against every other
 // holder (and a 2 s timeout here).
-TEST(LockManagerTest, InstantRsWhileHoldingIxDoesNotEscalateToX) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, InstantRsWhileHoldingIxDoesNotEscalateToX) {
+  LockManager lm{GetParam()};
   LockName base = PageLock(11);
   ASSERT_TRUE(lm.Lock(kT1, base, LockMode::kIX).ok());
   ASSERT_TRUE(lm.Lock(kT2, base, LockMode::kIX).ok());
@@ -382,8 +392,8 @@ TEST(LockManagerTest, InstantRsWhileHoldingIxDoesNotEscalateToX) {
 // The instant request must still genuinely wait when the requested mode
 // conflicts — holding a lock of one's own is no shortcut past the
 // reorganizer's R lock.
-TEST(LockManagerTest, InstantRsWhileHoldingStillWaitsOutR) {
-  LockManager lm;
+TEST_P(StripedLockManagerTest, InstantRsWhileHoldingStillWaitsOutR) {
+  LockManager lm{GetParam()};
   LockName base = PageLock(12);
   ASSERT_TRUE(lm.Lock(kT1, base, LockMode::kIS).ok());
   ASSERT_TRUE(lm.Lock(kReorgTxnId, base, LockMode::kR).ok());

@@ -114,8 +114,14 @@ TEST(ScheduleTest, FetchHookTracesPageAccesses) {
 // only after the reorganizer is gone.
 // ---------------------------------------------------------------------------
 
-TEST(ScheduleTest, ScriptedRxBackoffThenRsWaitReplay) {
-  LockManager lm;
+// Runs against stripe counts {1, 2, 16}; the deterministic script plus the
+// exact trace-index assertions below encode the pre-striping manager's
+// behavior (stripe = 1 *is* that manager), so passing at every count proves
+// the striped table is trace-equivalent on this schedule. A second test
+// asserts the traces are literally identical across counts.
+namespace {
+std::vector<std::string> RunRxBackoffScript(size_t stripes) {
+  LockManager lm{stripes};
   ScheduleController ctrl;
   ctrl.InstallLockHooks(&lm);
 
@@ -139,7 +145,7 @@ TEST(ScheduleTest, ScriptedRxBackoffThenRsWaitReplay) {
   // reorg takes RX; reader backs off; reader then parks in its RS wait;
   // reorg releases; the reader's wait resolves and the retry succeeds.
   ctrl.SetScript({"reorg", "reader", "reader", "reorg"});
-  ASSERT_TRUE(ctrl.Run().ok()) << ctrl.TraceString();
+  EXPECT_TRUE(ctrl.Run().ok()) << ctrl.TraceString();
 
   EXPECT_TRUE(s_read1.IsBackoff()) << s_read1.ToString();
   EXPECT_TRUE(s_rs.ok()) << s_rs.ToString();
@@ -151,13 +157,37 @@ TEST(ScheduleTest, ScriptedRxBackoffThenRsWaitReplay) {
   int rs_wait = ctrl.TraceIndex("reader:wait:page/5:RS");
   int rs_done = ctrl.TraceIndex("reader:instant-granted:page/5:RS");
   int retry = ctrl.TraceIndex("reader:granted:page/5:S");
-  ASSERT_GE(backoff, 0) << ctrl.TraceString();
-  ASSERT_GE(rs_wait, 0) << ctrl.TraceString();
-  ASSERT_GE(rs_done, 0) << ctrl.TraceString();
-  ASSERT_GE(retry, 0) << ctrl.TraceString();
+  EXPECT_GE(backoff, 0) << ctrl.TraceString();
+  EXPECT_GE(rs_wait, 0) << ctrl.TraceString();
+  EXPECT_GE(rs_done, 0) << ctrl.TraceString();
+  EXPECT_GE(retry, 0) << ctrl.TraceString();
   EXPECT_LT(backoff, rs_wait);
   EXPECT_LT(rs_wait, rs_done);
   EXPECT_LT(rs_done, retry);
+  EXPECT_EQ(lm.QueueCount(), 0u);  // nothing leaked by the replay
+  return ctrl.trace();
+}
+}  // namespace
+
+class StripedScheduleTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Stripes, StripedScheduleTest,
+                         ::testing::Values(1, 2, 16),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "s" + std::to_string(info.param);
+                         });
+
+TEST_P(StripedScheduleTest, ScriptedRxBackoffThenRsWaitReplay) {
+  (void)RunRxBackoffScript(GetParam());
+}
+
+// The decisive stripe-equivalence check: the same deterministic schedule
+// must yield a bit-identical lock-event trace at every stripe count —
+// stripe 1 (the legacy single-mutex manager) is the reference.
+TEST(ScheduleTest, RxBackoffTraceIdenticalAcrossStripeCounts) {
+  std::vector<std::string> reference = RunRxBackoffScript(1);
+  EXPECT_EQ(RunRxBackoffScript(2), reference);
+  EXPECT_EQ(RunRxBackoffScript(16), reference);
 }
 
 // ---------------------------------------------------------------------------
@@ -308,8 +338,8 @@ TEST_F(ScheduleSideFileTest, SwitchWindowUpdaterWaitsThenRetriesOnNewTree) {
 // Seeded storm: the harness + invariant checker as a protocol fuzzer.
 // ---------------------------------------------------------------------------
 
-TEST(ScheduleTest, SeededLockStormKeepsProtocolInvariants) {
-  LockManager lm;
+TEST_P(StripedScheduleTest, SeededLockStormKeepsProtocolInvariants) {
+  LockManager lm{GetParam()};
   LockInvariantChecker checker([](const LockViolation&) {});
   lm.SetInvariantChecker(&checker);
 

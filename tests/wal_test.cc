@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <thread>
+#include <vector>
+
 #include "src/storage/env.h"
 #include "src/wal/checkpoint.h"
 #include "src/wal/log_manager.h"
@@ -177,6 +181,136 @@ TEST(LogManagerTest, PerTypeByteAccounting) {
   EXPECT_EQ(log.records_appended(), 2u);
   EXPECT_EQ(log.bytes_appended(), log.bytes_for_type(LogType::kReorgMove) +
                                       log.bytes_for_type(LogType::kInsert));
+}
+
+// ---------------------------------------------------------------------------
+// Group commit
+// ---------------------------------------------------------------------------
+
+// The fsync-count contract: records buffered by one thread, then flushed by
+// K threads concurrently — the first leader steals the whole buffer, so the
+// sync count rises by exactly 1 and every FlushTo returns durable.
+TEST(LogManagerTest, GroupFlushOfBufferedRecordsCostsOneSync) {
+  MemEnv env;
+  LogManager log(&env, "wal");
+  ASSERT_TRUE(log.Open().ok());
+
+  constexpr int kN = 8;
+  std::vector<Lsn> lsns;
+  for (int i = 0; i < kN; ++i) {
+    LogRecord rec = MakeInsert(1, 1, "k" + std::to_string(i), "v");
+    ASSERT_TRUE(log.Append(&rec).ok());
+    lsns.push_back(rec.lsn);
+  }
+  uint64_t syncs_before = env.sync_count();
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kN; ++i) {
+    threads.emplace_back(
+        [&log, lsn = lsns[i]] { ASSERT_TRUE(log.FlushTo(lsn).ok()); });
+  }
+  for (auto& t : threads) t.join();
+
+  // One leader, one physical batch: N "commits" cost exactly 1 fsync.
+  EXPECT_EQ(env.sync_count() - syncs_before, 1u);
+  EXPECT_EQ(log.sync_batches(), 1u);
+  for (Lsn lsn : lsns) EXPECT_LT(lsn, log.FlushedLsn());
+
+  // And they really are durable: a crash keeps all of them.
+  env.Crash();
+  LogManager reopened(&env, "wal");
+  ASSERT_TRUE(reopened.Open().ok());
+  std::vector<LogRecord> recs;
+  ASSERT_TRUE(reopened.ReadAll(&recs).ok());
+  EXPECT_EQ(recs.size(), static_cast<size_t>(kN));
+}
+
+// Concurrent AppendAndFlush from many threads: every record lands exactly
+// once, recovery replays the identical record set a per-commit-flush run
+// produces, and the fsync count stays well under one per commit.
+TEST(LogManagerTest, ConcurrentAppendAndFlushRecoversEveryRecordOnce) {
+  MemEnv env;
+  LogManager log(&env, "wal");
+  ASSERT_TRUE(log.Open().ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        LogRecord rec = MakeInsert(100 + t, 1,
+                                   "t" + std::to_string(t) + "-" +
+                                       std::to_string(i),
+                                   "v");
+        ASSERT_TRUE(log.AppendAndFlush(&rec).ok());
+        ASSERT_LT(rec.lsn, log.FlushedLsn());  // durable on return
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Group commit must have batched at least some of the 200 commits.
+  EXPECT_LE(log.sync_batches(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_GE(log.sync_batches(), 1u);
+
+  env.Crash();  // discard nothing that was acked
+  LogManager reopened(&env, "wal");
+  ASSERT_TRUE(reopened.Open().ok());
+  std::vector<LogRecord> recs;
+  ASSERT_TRUE(reopened.ReadAll(&recs).ok());
+  ASSERT_EQ(recs.size(), static_cast<size_t>(kThreads * kPerThread));
+
+  // Same record multiset as a serial per-commit-flush reference run.
+  std::multiset<std::string> got, want;
+  for (const auto& r : recs) got.insert(r.key);
+  MemEnv ref_env;
+  LogManager ref(&ref_env, "wal");
+  ASSERT_TRUE(ref.Open().ok());
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      LogRecord rec = MakeInsert(100 + t, 1,
+                                 "t" + std::to_string(t) + "-" +
+                                     std::to_string(i),
+                                 "v");
+      ASSERT_TRUE(ref.AppendAndFlush(&rec).ok());
+    }
+  }
+  std::vector<LogRecord> ref_recs;
+  ASSERT_TRUE(ref.ReadAll(&ref_recs).ok());
+  for (const auto& r : ref_recs) want.insert(r.key);
+  EXPECT_EQ(got, want);
+  // The serial reference pays one fsync per commit; the concurrent run
+  // must not pay more.
+  EXPECT_EQ(ref_env.sync_count(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_LE(env.sync_count(), ref_env.sync_count());
+}
+
+// FlushTo's fast path: an already-durable LSN returns without any file
+// traffic, and FlushedLsn() itself is a lock-free read.
+TEST(LogManagerTest, FlushToIsANoOpWhenAlreadyDurable) {
+  MemEnv env;
+  LogManager log(&env, "wal");
+  ASSERT_TRUE(log.Open().ok());
+
+  LogRecord rec = MakeInsert(1, 1, "k", "v");
+  ASSERT_TRUE(log.AppendAndFlush(&rec).ok());
+  uint64_t syncs = env.sync_count();
+  uint64_t batches = log.sync_batches();
+
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(log.FlushTo(rec.lsn).ok());
+  }
+  EXPECT_EQ(env.sync_count(), syncs);       // no I/O at all
+  EXPECT_EQ(log.sync_batches(), batches);
+
+  // The boundary stays exact: the next (not yet appended) LSN is not
+  // durable, so probing it triggers a real (empty-buffer, no-op) pass.
+  LogRecord rec2 = MakeInsert(1, 1, "k2", "v");
+  ASSERT_TRUE(log.Append(&rec2).ok());
+  ASSERT_TRUE(log.FlushTo(rec2.lsn).ok());
+  EXPECT_GT(env.sync_count(), syncs);
+  EXPECT_LT(rec2.lsn, log.FlushedLsn());
 }
 
 TEST(CheckpointTest, ImageRoundTrip) {
