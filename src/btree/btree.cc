@@ -129,7 +129,7 @@ Status BTree::LowerSeparatorIfNeeded(Transaction* txn, const Slice& key) {
     std::string old_sep;
     PageId leaf = kInvalidPageId;
     {
-      std::shared_lock<std::shared_mutex> latch(page->latch());
+      std::shared_lock<PageLatch> latch(page->latch());
       InternalNode node(page);
       slot = node.FindChild(key);
       old_sep = node.KeyAt(slot).ToString();
@@ -166,7 +166,7 @@ Status BTree::LowerSeparatorIfNeeded(Transaction* txn, const Slice& key) {
     }
 
     {
-      std::unique_lock<std::shared_mutex> latch(page->latch());
+      std::unique_lock<PageLatch> latch(page->latch());
       InternalNode node(page);
       // Re-verify under the exclusive latch (we hold the base X lock, so
       // the slot cannot have changed — this is belt and braces).
@@ -243,7 +243,7 @@ Status BTree::FindLeaf(TxnId locker, const Slice& key, LockMode leaf_mode,
       uint8_t level;
       std::string child_sep;
       {
-        std::shared_lock<std::shared_mutex> latch(page->latch());
+        std::shared_lock<PageLatch> latch(page->latch());
         InternalNode node(page);
         level = page->level();
         int idx = node.FindChild(key);
@@ -327,7 +327,7 @@ Status BTree::FindPathPessimistic(TxnId locker, const Slice& key,
       // cannot propagate the structure modification.
       bool safe;
       {
-        std::shared_lock<std::shared_mutex> latch(page->latch());
+        std::shared_lock<PageLatch> latch(page->latch());
         if (page->type() == PageType::kLeaf) {
           LeafNode ln(page);
           safe = for_insert ? ln.FreeSpace() >= need_bytes : ln.Count() > 1;
@@ -355,7 +355,7 @@ Status BTree::FindPathPessimistic(TxnId locker, const Slice& key,
 
       PageId child;
       {
-        std::shared_lock<std::shared_mutex> latch(page->latch());
+        std::shared_lock<PageLatch> latch(page->latch());
         InternalNode node(page);
         child = node.ChildAt(node.FindChild(key));
       }
@@ -451,7 +451,7 @@ Status BTree::Insert(Transaction* txn, const Slice& key, const Slice& value) {
     bool fits;
     bool exact;
     {
-      std::shared_lock<std::shared_mutex> latch(leaf_page->latch());
+      std::shared_lock<PageLatch> latch(leaf_page->latch());
       LeafNode ln(leaf_page);
       ln.LowerBound(key, &exact);
       fits = ln.FreeSpace() >= need;
@@ -463,7 +463,7 @@ Status BTree::Insert(Transaction* txn, const Slice& key, const Slice& value) {
     }
     if (fits) {
       {
-        std::unique_lock<std::shared_mutex> latch(leaf_page->latch());
+        std::unique_lock<PageLatch> latch(leaf_page->latch());
         LeafNode ln(leaf_page);
         s = ln.Insert(key, value);
         if (s.ok()) {
@@ -490,7 +490,7 @@ Status BTree::Insert(Transaction* txn, const Slice& key, const Slice& value) {
     }
     bool fits_now;
     {
-      std::shared_lock<std::shared_mutex> latch(leaf_page->latch());
+      std::shared_lock<PageLatch> latch(leaf_page->latch());
       LeafNode ln(leaf_page);
       fits_now = ln.FreeSpace() >= need;
     }
@@ -531,7 +531,7 @@ Status BTree::InsertSeparatorInto(Transaction* txn, PageId node_pid,
   if (!s.ok()) return s;
   Status rs;
   {
-    std::unique_lock<std::shared_mutex> latch(page->latch());
+    std::unique_lock<PageLatch> latch(page->latch());
     InternalNode node(page);
     rs = node.Insert(separator, child);
     if (rs.ok()) {
@@ -592,7 +592,7 @@ Status BTree::SplitInternal(Transaction* txn, const std::vector<PageId>& path,
   std::vector<std::string> cells;
   UnpackCells(moved, &cells);
   {
-    std::unique_lock<std::shared_mutex> latch(new_page->latch());
+    std::unique_lock<PageLatch> latch(new_page->latch());
     InternalNode::Format(new_page, new_pid, level, separator);
     SlottedPage nsp(new_page);
     for (size_t i = 0; i < cells.size(); ++i) {
@@ -600,7 +600,7 @@ Status BTree::SplitInternal(Transaction* txn, const std::vector<PageId>& path,
     }
   }
   {
-    std::unique_lock<std::shared_mutex> latch(page->latch());
+    std::unique_lock<PageLatch> latch(page->latch());
     SlottedPage osp(page);
     for (int i = n - 1; i >= split_at; --i) osp.RemoveCell(i);
   }
@@ -618,7 +618,7 @@ Status BTree::SplitInternal(Transaction* txn, const std::vector<PageId>& path,
     PageGuard root_guard(bp_, root_page);
     uint8_t new_height = static_cast<uint8_t>(height_.load() + 1);
     {
-      std::unique_lock<std::shared_mutex> latch(root_page->latch());
+      std::unique_lock<PageLatch> latch(root_page->latch());
       InternalNode::Format(root_page, new_root,
                            static_cast<uint8_t>(level + 1), Slice());
       InternalNode r(root_page);
@@ -677,7 +677,7 @@ Status BTree::EnsureSeparatorRoom(Transaction* txn,
   bool fits;
   std::string promoted;  // prospective separator if this node must split
   {
-    std::shared_lock<std::shared_mutex> latch(page->latch());
+    std::shared_lock<PageLatch> latch(page->latch());
     InternalNode node(page);
     fits = node.FreeSpace() >= InternalNode::CellSize(separator);
     if (!fits && node.Count() >= 2) {
@@ -842,7 +842,7 @@ Status BTree::SplitLeaf(Transaction* txn, const std::vector<PageId>& path,
   std::vector<std::string> cells;
   UnpackCells(moved, &cells);
   {
-    std::unique_lock<std::shared_mutex> latch(new_page->latch());
+    std::unique_lock<PageLatch> latch(new_page->latch());
     LeafNode::Format(new_page, new_pid);
     SlottedPage nsp(new_page);
     for (size_t i = 0; i < cells.size(); ++i) {
@@ -856,7 +856,7 @@ Status BTree::SplitLeaf(Transaction* txn, const std::vector<PageId>& path,
     }
   }
   {
-    std::unique_lock<std::shared_mutex> latch(leaf_page->latch());
+    std::unique_lock<PageLatch> latch(leaf_page->latch());
     SlottedPage osp(leaf_page);
     for (int i = n - 1; i >= split_at; --i) osp.RemoveCell(i);
     if (options_.side_pointers != SidePointerMode::kNone) {
@@ -886,7 +886,7 @@ Status BTree::SplitLeaf(Transaction* txn, const std::vector<PageId>& path,
     Page* nb;
     if (bp_->FetchPage(old_next, &nb).ok()) {
       {
-        std::unique_lock<std::shared_mutex> latch(nb->latch());
+        std::unique_lock<PageLatch> latch(nb->latch());
         nb->SetPrev(new_pid);
         nb->set_page_lsn(rec.lsn);
       }
@@ -931,7 +931,7 @@ Status BTree::Update(Transaction* txn, const Slice& key, const Slice& value) {
     bool fits = false;
     std::string old_value;
     {
-      std::shared_lock<std::shared_mutex> latch(leaf_page->latch());
+      std::shared_lock<PageLatch> latch(leaf_page->latch());
       LeafNode ln(leaf_page);
       pos = ln.LowerBound(key, &exact);
       if (exact) {
@@ -948,7 +948,7 @@ Status BTree::Update(Transaction* txn, const Slice& key, const Slice& value) {
     }
     if (fits) {
       {
-        std::unique_lock<std::shared_mutex> latch(leaf_page->latch());
+        std::unique_lock<PageLatch> latch(leaf_page->latch());
         LeafNode ln(leaf_page);
         s = ln.SetValueAt(pos, value);
         if (s.ok()) {
@@ -992,7 +992,7 @@ Status BTree::Delete(Transaction* txn, const Slice& key) {
     int count;
     std::string old_value;
     {
-      std::shared_lock<std::shared_mutex> latch(leaf_page->latch());
+      std::shared_lock<PageLatch> latch(leaf_page->latch());
       LeafNode ln(leaf_page);
       pos = ln.LowerBound(key, &exact);
       count = ln.Count();
@@ -1005,7 +1005,7 @@ Status BTree::Delete(Transaction* txn, const Slice& key) {
     }
     if (count > 1) {
       {
-        std::unique_lock<std::shared_mutex> latch(leaf_page->latch());
+        std::unique_lock<PageLatch> latch(leaf_page->latch());
         LeafNode ln(leaf_page);
         ln.RemoveAt(pos);
         s = LogRecordOp(txn, LogType::kDelete, r.leaf, key, old_value,
@@ -1033,7 +1033,7 @@ Status BTree::Delete(Transaction* txn, const Slice& key) {
     int pos2;
     int count2;
     {
-      std::shared_lock<std::shared_mutex> latch(leaf_page->latch());
+      std::shared_lock<PageLatch> latch(leaf_page->latch());
       LeafNode ln(leaf_page);
       pos2 = ln.LowerBound(key, &exact2);
       count2 = ln.Count();
@@ -1045,7 +1045,7 @@ Status BTree::Delete(Transaction* txn, const Slice& key) {
       return Status::NotFound("key vanished during retry");
     }
     {
-      std::unique_lock<std::shared_mutex> latch(leaf_page->latch());
+      std::unique_lock<PageLatch> latch(leaf_page->latch());
       LeafNode ln(leaf_page);
       ln.RemoveAt(pos2);
       s = LogRecordOp(txn, LogType::kDelete, path.back(), key, old_value,
@@ -1089,7 +1089,7 @@ Status BTree::FreeEmptyLeaf(Transaction* txn, const std::vector<PageId>& path) {
   std::string separator;
   int slot;
   {
-    std::shared_lock<std::shared_mutex> latch(parent_page->latch());
+    std::shared_lock<PageLatch> latch(parent_page->latch());
     InternalNode parent(parent_page);
     slot = parent.FindChildSlot(leaf_pid);
     if (slot >= 0) separator = parent.KeyAt(slot).ToString();
@@ -1106,7 +1106,7 @@ Status BTree::FreeEmptyLeaf(Transaction* txn, const std::vector<PageId>& path) {
     if (!s.ok()) return s;
     int pcount;
     {
-      std::shared_lock<std::shared_mutex> latch(pp->latch());
+      std::shared_lock<PageLatch> latch(pp->latch());
       InternalNode pn(pp);
       pcount = pn.Count();
     }
@@ -1178,7 +1178,7 @@ Status BTree::FreeEmptyLeaf(Transaction* txn, const std::vector<PageId>& path) {
 
   s = bp_->FetchPage(sep_parent, &parent_page);
   if (s.ok()) {
-    std::unique_lock<std::shared_mutex> latch(parent_page->latch());
+    std::unique_lock<PageLatch> latch(parent_page->latch());
     InternalNode parent(parent_page);
     int pslot = parent.FindChildSlot(leaf_pid);
     if (pslot >= 0) parent.RemoveAt(pslot);
@@ -1188,7 +1188,7 @@ Status BTree::FreeEmptyLeaf(Transaction* txn, const std::vector<PageId>& path) {
   if (lock_prev) {
     Page* p;
     if (bp_->FetchPage(prev_pid, &p).ok()) {
-      std::unique_lock<std::shared_mutex> latch(p->latch());
+      std::unique_lock<PageLatch> latch(p->latch());
       p->SetNext(next_pid);
       p->set_page_lsn(rec.lsn);
       bp_->UnpinPage(prev_pid, true);
@@ -1198,7 +1198,7 @@ Status BTree::FreeEmptyLeaf(Transaction* txn, const std::vector<PageId>& path) {
   if (lock_next) {
     Page* p;
     if (bp_->FetchPage(next_pid, &p).ok()) {
-      std::unique_lock<std::shared_mutex> latch(p->latch());
+      std::unique_lock<PageLatch> latch(p->latch());
       p->SetPrev(prev_pid);
       p->set_page_lsn(rec.lsn);
       bp_->UnpinPage(next_pid, true);
@@ -1213,7 +1213,7 @@ Status BTree::FreeEmptyLeaf(Transaction* txn, const std::vector<PageId>& path) {
     if (!bp_->FetchPage(path[i], &node_page).ok()) break;
     int cnt;
     {
-      std::shared_lock<std::shared_mutex> latch(node_page->latch());
+      std::shared_lock<PageLatch> latch(node_page->latch());
       InternalNode node(node_page);
       cnt = node.Count();
     }
@@ -1226,7 +1226,7 @@ Status BTree::FreeEmptyLeaf(Transaction* txn, const std::vector<PageId>& path) {
     std::string gsep;
     int gslot;
     {
-      std::shared_lock<std::shared_mutex> latch(gp_page->latch());
+      std::shared_lock<PageLatch> latch(gp_page->latch());
       InternalNode gnode(gp_page);
       gslot = gnode.FindChildSlot(path[i]);
       if (gslot >= 0) gsep = gnode.KeyAt(gslot).ToString();
@@ -1245,7 +1245,7 @@ Status BTree::FreeEmptyLeaf(Transaction* txn, const std::vector<PageId>& path) {
     log_->Append(&frec);
 
     if (bp_->FetchPage(gp, &gp_page).ok()) {
-      std::unique_lock<std::shared_mutex> latch(gp_page->latch());
+      std::unique_lock<PageLatch> latch(gp_page->latch());
       InternalNode gnode(gp_page);
       int s2 = gnode.FindChildSlot(path[i]);
       if (s2 >= 0) gnode.RemoveAt(s2);
@@ -1297,7 +1297,7 @@ Status BTree::Get(Transaction* txn, const Slice& key, std::string* value) {
   }
   bool exact;
   {
-    std::shared_lock<std::shared_mutex> latch(leaf_page->latch());
+    std::shared_lock<PageLatch> latch(leaf_page->latch());
     LeafNode ln(leaf_page);
     int pos = ln.LowerBound(key, &exact);
     if (exact) *value = ln.ValueAt(pos).ToString();
@@ -1362,7 +1362,7 @@ Status BTree::LockBasePage(TxnId locker, const Slice& key, LockMode mode,
       }
       PageId child;
       {
-        std::shared_lock<std::shared_mutex> latch(page->latch());
+        std::shared_lock<PageLatch> latch(page->latch());
         InternalNode node(page);
         child = node.ChildAt(node.FindChild(key));
       }
@@ -1403,7 +1403,7 @@ Status BTree::FirstBasePage(TxnId locker, std::string* low_mark,
     }
     PageId child;
     {
-      std::shared_lock<std::shared_mutex> latch(page->latch());
+      std::shared_lock<PageLatch> latch(page->latch());
       InternalNode node(page);
       child = node.ChildAt(0);
     }
@@ -1450,14 +1450,14 @@ Status BTree::NextBaseIn(TxnId locker, PageId node_pid, const Slice& key,
   int count;
   uint8_t level;
   {
-    std::shared_lock<std::shared_mutex> latch(page->latch());
+    std::shared_lock<PageLatch> latch(page->latch());
     InternalNode node(page);
     count = node.Count();
     level = page->level();
   }
   int start;
   {
-    std::shared_lock<std::shared_mutex> latch(page->latch());
+    std::shared_lock<PageLatch> latch(page->latch());
     InternalNode node(page);
     start = node.FindChild(key);
   }
@@ -1465,7 +1465,7 @@ Status BTree::NextBaseIn(TxnId locker, PageId node_pid, const Slice& key,
     Slice sep;
     PageId child;
     {
-      std::shared_lock<std::shared_mutex> latch(page->latch());
+      std::shared_lock<PageLatch> latch(page->latch());
       InternalNode node(page);
       sep = node.KeyAt(i);
       child = node.ChildAt(i);
@@ -1739,7 +1739,7 @@ Status BTree::BaseApply(Transaction* txn, BaseUpdateOp op, const Slice& key,
     }
     Status rs = Status::NotFound("separator not found");
     {
-      std::unique_lock<std::shared_mutex> latch(page->latch());
+      std::unique_lock<PageLatch> latch(page->latch());
       InternalNode node(page);
       bool exact;
       int pos = node.LowerBound(key, &exact);
@@ -1793,7 +1793,7 @@ Status BTree::UndoRecordOp(Transaction* txn, const LogRecord& original) {
     bool need_split = false;
     Status rs;
     {
-      std::unique_lock<std::shared_mutex> latch(leaf_page->latch());
+      std::unique_lock<PageLatch> latch(leaf_page->latch());
       LeafNode ln(leaf_page);
       bool exact;
       int pos = ln.LowerBound(key, &exact);

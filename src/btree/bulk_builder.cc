@@ -14,7 +14,21 @@ Status InternalBuilder::OpenPageAt(size_t level, const Slice& low_mark) {
   Page* page;
   Status s = bp_->NewPage(&pid, &page);
   if (!s.ok()) return s;
+  // Log the allocation (pass 3) before the page can be evicted: the page id
+  // may be a recycled one with old-tree records still ahead of it in the
+  // redo stream, and the LSN stamp is what makes redo leave the rebuilt
+  // image alone.
+  Lsn stamp = 0;
+  if (alloc_logger_) {
+    s = alloc_logger_(pid, &stamp);
+    if (!s.ok()) {
+      bp_->UnpinPage(pid, false);
+      bp_->DeletePage(pid);
+      return s;
+    }
+  }
   InternalNode::Format(page, pid, static_cast<uint8_t>(level + 1), low_mark);
+  page->set_page_lsn(stamp);
   bp_->UnpinPage(pid, true);
   created_.push_back(pid);
   levels_[level].open = pid;

@@ -66,6 +66,17 @@ class InternalBuilder {
   /// open page (idempotent re-reads after restart).
   void set_skip_duplicates(bool b) { skip_duplicates_ = b; }
 
+  /// Called with each freshly allocated page id BEFORE the page is formatted
+  /// (and so before its image can ever reach disk); returns the LSN the page
+  /// is stamped with. Pass 3 logs its kAllocPage record here: the stamp makes
+  /// redo skip old-tree records aimed at a recycled page id, and the buffer
+  /// pool's WAL interlock then forces the allocation record durable before
+  /// the unlogged page image — careful writing for built pages (§7.3).
+  /// Without a logger (initial bulk loads) pages keep LSN 0 and the
+  /// follow-up checkpoint is the recovery baseline.
+  using AllocLogger = std::function<Status(PageId, Lsn*)>;
+  void set_alloc_logger(AllocLogger logger) { alloc_logger_ = std::move(logger); }
+
  private:
   struct Level {
     PageId open = kInvalidPageId;   // page currently accepting entries
@@ -84,6 +95,7 @@ class InternalBuilder {
   std::vector<PageId> created_;
   std::vector<PageId> completed_;
   bool skip_duplicates_ = false;
+  AllocLogger alloc_logger_;
 };
 
 class BulkBuilder {

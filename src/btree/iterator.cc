@@ -53,7 +53,7 @@ Status BTreeIterator::LoadBatch(const Slice& from_key) {
         lm->Unlock(locker_, PageLock(r.leaf));
         return s;
       }
-      std::shared_lock<std::shared_mutex> latch(base_page->latch());
+      std::shared_lock<PageLatch> latch(base_page->latch());
       InternalNode node(base_page);
       int slot = node.FindChildSlot(r.leaf);
       if (slot >= 0 && slot + 1 < node.Count()) {
@@ -74,7 +74,7 @@ Status BTreeIterator::LoadBatch(const Slice& from_key) {
         lm->Unlock(locker_, PageLock(r.leaf));
         return s;
       }
-      std::shared_lock<std::shared_mutex> latch(leaf_page->latch());
+      std::shared_lock<PageLatch> latch(leaf_page->latch());
       LeafNode ln(leaf_page);
       bool exact;
       for (int i = ln.LowerBound(probe, &exact); i < ln.Count(); ++i) {

@@ -39,6 +39,13 @@ Status RecoveryManager::RedoReorgMove(const LogRecord& rec) {
     }
     bool a_stale = a->page_lsn() < rec.lsn;
     bool b_stale = b->page_lsn() < rec.lsn;
+    if ((a_stale && a->type() != PageType::kLeaf) ||
+        (b_stale && b->type() != PageType::kLeaf)) {
+      bp_->UnpinPage(org, false);
+      bp_->UnpinPage(dest, false);
+      return Status::Corruption("swap redo found a non-leaf image at a stale "
+                                "org/dest page");
+    }
     std::vector<std::string> image_cells;
     UnpackCells(rec.payload, &image_cells);
     if (a_stale && b_stale) {
@@ -89,6 +96,18 @@ Status RecoveryManager::RedoReorgMove(const LogRecord& rec) {
 
   bool dest_stale = dest_page->page_lsn() < rec.lsn;
   bool src_stale = src_page->page_lsn() < rec.lsn;
+  // A stale image must still be the leaf this record was logged against:
+  // checkpoints are sharp, formats precede moves in the log, and recycled
+  // page ids carry an LSN stamp newer than any old-tree record. Anything
+  // else is a careful-writing violation — refuse rather than reinterpret
+  // another page type as leaf cells.
+  if ((src_stale && src_page->type() != PageType::kLeaf) ||
+      (dest_stale && dest_page->type() != PageType::kLeaf)) {
+    bp_->UnpinPage(org, false);
+    bp_->UnpinPage(dest, false);
+    return Status::Corruption("reorg move redo found a non-leaf image at a "
+                              "stale org/dest page");
+  }
   bool touched_dest = false, touched_src = false;
 
   if (rec.flags & kMoveKeysOnly) {
@@ -167,6 +186,11 @@ Status RecoveryManager::RedoReorgModify(const LogRecord& rec) {
     bp_->UnpinPage(rec.page_id, false);
     return Status::OK();
   }
+  if (page->type() != PageType::kInternal) {
+    bp_->UnpinPage(rec.page_id, false);
+    return Status::Corruption("reorg modify redo found a non-internal image "
+                              "at a stale base page");
+  }
   InternalNode node(page);
   PageId org_pid = DecodePid(rec.value);
   PageId new_pid = DecodePid(rec.value2);
@@ -241,9 +265,24 @@ Status RecoveryManager::Recover(RecoveryResult* result) {
   }
 
   // --- redo -------------------------------------------------------------------
+  const uint64_t checksum_failures_before = disk_->checksum_failures();
   std::vector<LogRecord> records;
-  s = log_->ReadAll(&records, start_lsn);
+  LogReadStats log_stats;
+  s = log_->ReadAll(&records, start_lsn, &log_stats);
   if (!s.ok()) return s;
+  // The usual torn tail was already truncated by LogManager::Open, so fold
+  // its account in with whatever this scan still sees.
+  result->wal_tail_torn = log_stats.torn_tail || log_->open_dropped_bytes() > 0;
+  result->wal_bytes_dropped =
+      log_stats.dropped_bytes + log_->open_dropped_bytes();
+  if (log_stats.mid_log_corruption) {
+    // Valid frames exist beyond a bad one: the damage is not the usual torn
+    // tail but a hole in the middle of the log. Replaying the prefix and
+    // silently dropping committed records would be wrong — refuse.
+    return Status::Corruption(
+        "WAL has valid records beyond a corrupt frame (mid-log damage, not "
+        "a torn tail)");
+  }
 
   bool unit_open = result->reorg.has_open_unit;
   uint32_t open_unit = result->reorg.unit;
@@ -420,6 +459,8 @@ Status RecoveryManager::Recover(RecoveryResult* result) {
     result->pass3_stable_key = stable_key;
     result->pass3_partial_top = partial_top;
   }
+  result->page_checksum_failures =
+      disk_->checksum_failures() - checksum_failures_before;
   return Status::OK();
 }
 

@@ -58,6 +58,13 @@ struct RecoveryResult {
   uint64_t records_scanned = 0;
   uint64_t records_redone = 0;
   uint64_t pass3_pages_reclaimed = 0;
+
+  // I/O forensics for this recovery. A torn WAL tail is the normal
+  // post-crash state (surfaced here, not an error); mid-log corruption and
+  // page-checksum failures make Recover return Status::Corruption instead.
+  bool wal_tail_torn = false;
+  uint64_t wal_bytes_dropped = 0;
+  uint64_t page_checksum_failures = 0;
 };
 
 class RecoveryManager {

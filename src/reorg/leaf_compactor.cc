@@ -114,7 +114,7 @@ Status LeafCompactor::PlanNextUnit(std::string* cursor, PageId* base_pid,
     size_t used;
     std::string last_key;
     {
-      std::shared_lock<std::shared_mutex> latch(leaf_page->latch());
+      std::shared_lock<PageLatch> latch(leaf_page->latch());
       LeafNode ln(leaf_page);
       used = ln.UsedSpace();
       capacity = ln.Capacity();
@@ -222,7 +222,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
     return s;
   }
   {
-    std::shared_lock<std::shared_mutex> latch(base_page->latch());
+    std::shared_lock<PageLatch> latch(base_page->latch());
     if (base_page->type() != PageType::kInternal || base_page->level() != 1) {
       bp->UnpinPage(base_pid, false);
       release_all();
@@ -288,7 +288,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
         return s;
       }
       {
-        std::shared_lock<std::shared_mutex> latch(base_page->latch());
+        std::shared_lock<PageLatch> latch(base_page->latch());
         InternalNode base(base_page);
         same_base = base.FindChildSlot(nb) >= 0;
       }
@@ -350,7 +350,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
       return s;
     }
     if (dest_page->type() != PageType::kLeaf) {
-      std::unique_lock<std::shared_mutex> latch(dest_page->latch());
+      std::unique_lock<PageLatch> latch(dest_page->latch());
       LeafNode::Format(dest_page, dest);
       LogRecord fmt;
       fmt.type = LogType::kFormatPage;
@@ -388,7 +388,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
     if (!s.ok()) break;
     std::vector<std::pair<std::string, std::string>> records;
     {
-      std::shared_lock<std::shared_mutex> latch(src_page->latch());
+      std::shared_lock<PageLatch> latch(src_page->latch());
       LeafNode ln(src_page);
       for (int i = 0; i < ln.Count(); ++i) {
         records.emplace_back(ln.KeyAt(i).ToString(), ln.ValueAt(i).ToString());
@@ -403,7 +403,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
     // Determine how many fit (planning raced with live inserts).
     size_t take = 0;
     {
-      std::shared_lock<std::shared_mutex> latch(dest_page->latch());
+      std::shared_lock<PageLatch> latch(dest_page->latch());
       LeafNode dl(dest_page);
       size_t free = dl.FreeSpace();
       for (const auto& [k, v] : records) {
@@ -444,7 +444,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
     ctx_->table->RecordLsn(move.lsn);
 
     {
-      std::unique_lock<std::shared_mutex> latch(dest_page->latch());
+      std::unique_lock<PageLatch> latch(dest_page->latch());
       LeafNode dl(dest_page);
       for (const auto& [k, v] : moved) {
         bool exact;
@@ -458,7 +458,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
     s = bp->FetchPage(src, &src_page);
     if (!s.ok()) break;
     {
-      std::unique_lock<std::shared_mutex> latch(src_page->latch());
+      std::unique_lock<PageLatch> latch(src_page->latch());
       LeafNode sl(src_page);
       for (size_t i = 0; i < take && sl.Count() > 0; ++i) sl.RemoveAt(0);
       src_page->set_page_lsn(move.lsn);
@@ -499,7 +499,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
       ctx_->table->RecordLsn(back.lsn);
       Page* dest_page;
       if (bp->FetchPage(dest, &dest_page).ok()) {
-        std::unique_lock<std::shared_mutex> latch(dest_page->latch());
+        std::unique_lock<PageLatch> latch(dest_page->latch());
         LeafNode dl(dest_page);
         for (const auto& [k, v] : it->records) {
           bool exact;
@@ -511,7 +511,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
       }
       Page* src_page;
       if (bp->FetchPage(it->src, &src_page).ok()) {
-        std::unique_lock<std::shared_mutex> latch(src_page->latch());
+        std::unique_lock<PageLatch> latch(src_page->latch());
         LeafNode sl(src_page);
         for (const auto& [k, v] : it->records) {
           bool exact;
@@ -560,7 +560,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
   std::vector<PageId> now_empty;
   std::vector<PageId> live_sources;
   {
-    std::unique_lock<std::shared_mutex> latch(base_page->latch());
+    std::unique_lock<PageLatch> latch(base_page->latch());
     InternalNode base(base_page);
     for (PageId src : sources) {
       if (src == dest) {
@@ -572,7 +572,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
       int cnt;
       std::string first_key;
       {
-        std::shared_lock<std::shared_mutex> slatch(sp->latch());
+        std::shared_lock<PageLatch> slatch(sp->latch());
         LeafNode sl(sp);
         cnt = sl.Count();
         if (cnt > 0) first_key = sl.KeyAt(0).ToString();
@@ -601,7 +601,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
       if (bp->FetchPage(dest, &dp).ok()) {
         std::string dest_first;
         {
-          std::shared_lock<std::shared_mutex> dlatch(dp->latch());
+          std::shared_lock<PageLatch> dlatch(dp->latch());
           LeafNode dl(dp);
           if (dl.Count() > 0) dest_first = dl.KeyAt(0).ToString();
         }
@@ -647,7 +647,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
         link.page_id3 = want_next;
         ctx_->log->Append(&link);
         ctx_->table->RecordLsn(link.lsn);
-        std::unique_lock<std::shared_mutex> latch(page->latch());
+        std::unique_lock<PageLatch> latch(page->latch());
         page->SetPrev(want_prev);
         page->SetNext(want_next);
         page->set_page_lsn(link.lsn);

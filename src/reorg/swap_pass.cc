@@ -55,7 +55,7 @@ Status SwapPass::FindAndLockBaseOf(PageId leaf, PageId* base_pid) {
     if (!s.ok()) return s;
     std::string key;
     {
-      std::shared_lock<std::shared_mutex> latch(leaf_page->latch());
+      std::shared_lock<PageLatch> latch(leaf_page->latch());
       LeafNode ln(leaf_page);
       if (ln.Count() > 0) key = ln.KeyAt(0).ToString();
     }
@@ -67,7 +67,7 @@ Status SwapPass::FindAndLockBaseOf(PageId leaf, PageId* base_pid) {
     if (!s.ok()) return s;
     bool found;
     {
-      std::shared_lock<std::shared_mutex> latch(guard->latch());
+      std::shared_lock<PageLatch> latch(guard->latch());
       InternalNode base(guard.get());
       found = base.FindChildSlot(leaf) >= 0;
     }
@@ -225,7 +225,7 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
       release_all();
       return s;
     }
-    std::shared_lock<std::shared_mutex> latch(bpg->latch());
+    std::shared_lock<PageLatch> latch(bpg->latch());
     InternalNode base(bpg);
     b_same_base = base.FindChildSlot(b) >= 0;
     bp->UnpinPage(base_a, false);
@@ -281,7 +281,7 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
       for (PageId base : {base_a, base_b}) {
         Page* bpg;
         if (!bp->FetchPage(base, &bpg).ok()) continue;
-        std::shared_lock<std::shared_mutex> latch(bpg->latch());
+        std::shared_lock<PageLatch> latch(bpg->latch());
         InternalNode node(bpg);
         if (node.FindChildSlot(n) >= 0) same_base = true;
         bp->UnpinPage(base, false);
@@ -323,7 +323,7 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
     int slot_a;
     std::string sep_a;
     {
-      std::shared_lock<std::shared_mutex> latch(bpg->latch());
+      std::shared_lock<PageLatch> latch(bpg->latch());
       InternalNode node(bpg);
       slot_a = node.FindChildSlot(a);
       if (slot_a >= 0) sep_a = node.KeyAt(slot_a).ToString();
@@ -338,7 +338,7 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
       }
       std::string first_a;
       {
-        std::shared_lock<std::shared_mutex> latch(pga->latch());
+        std::shared_lock<PageLatch> latch(pga->latch());
         LeafNode ln(pga);
         if (ln.Count() > 0) first_a = ln.KeyAt(0).ToString();
       }
@@ -362,11 +362,11 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
     }
     std::vector<std::string> cells_a, cells_b;
     {
-      std::shared_lock<std::shared_mutex> la(page_a->latch());
+      std::shared_lock<PageLatch> la(page_a->latch());
       cells_a = ReadAllCells(page_a);
     }
     {
-      std::shared_lock<std::shared_mutex> lb(page_b->latch());
+      std::shared_lock<PageLatch> lb(page_b->latch());
       cells_b = ReadAllCells(page_b);
     }
     LogRecord move;
@@ -381,12 +381,12 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
     ctx_->log->Append(&move);
     ctx_->table->RecordLsn(move.lsn);
     {
-      std::unique_lock<std::shared_mutex> la(page_a->latch());
+      std::unique_lock<PageLatch> la(page_a->latch());
       WriteAllCells(page_a, cells_b);
       page_a->set_page_lsn(move.lsn);
     }
     {
-      std::unique_lock<std::shared_mutex> lb(page_b->latch());
+      std::unique_lock<PageLatch> lb(page_b->latch());
       WriteAllCells(page_b, cells_a);
       page_b->set_page_lsn(move.lsn);
     }
@@ -468,8 +468,8 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
     }
     int slot_a, slot_b;
     {
-      std::unique_lock<std::shared_mutex> la(pg_a->latch());
-      std::unique_lock<std::shared_mutex> lb_maybe(
+      std::unique_lock<PageLatch> la(pg_a->latch());
+      std::unique_lock<PageLatch> lb_maybe(
           base_b != base_a ? pg_b->latch() : pg_a->latch(),
           std::defer_lock);
       if (base_b != base_a) lb_maybe.lock();
@@ -501,7 +501,7 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
       link.page_id3 = next;
       ctx_->log->Append(&link);
       ctx_->table->RecordLsn(link.lsn);
-      std::unique_lock<std::shared_mutex> latch(pg->latch());
+      std::unique_lock<PageLatch> latch(pg->latch());
       pg->SetPrev(prev);
       pg->SetNext(next);
       pg->set_page_lsn(link.lsn);

@@ -10,7 +10,24 @@ TreeBuilder::TreeBuilder(ReorgContext* ctx, SideFile* side_file,
     : ctx_(ctx),
       side_file_(side_file),
       options_(options),
-      builder_(ctx->bp, options.internal_fill) {}
+      builder_(ctx->bp, options.internal_fill) {
+  // §7.3: "space allocation ... is also logged"; allocations after the last
+  // force-write are reclaimed at recovery. Logging happens inside the
+  // builder, before the new page is formatted, so a recycled page id gets
+  // its LSN stamp before its unlogged image can ever reach disk.
+  builder_.set_alloc_logger([this](PageId pid, Lsn* stamp) {
+    LogRecord alloc;
+    alloc.type = LogType::kAllocPage;
+    alloc.txn_id = kReorgTxnId;
+    alloc.page_id = pid;
+    alloc.flags = 1;  // pass-3 allocation (reclaimable past the stable key)
+    Status s = ctx_->log->Append(&alloc);
+    if (!s.ok()) return s;
+    *stamp = alloc.lsn;
+    ++pages_since_stable_;
+    return Status::OK();
+  });
+}
 
 std::string TreeBuilder::CurrentKey() const {
   std::lock_guard<std::mutex> g(mu_);
@@ -37,7 +54,7 @@ Status TreeBuilder::ReadBasePage(PageId pid) {
   std::vector<std::pair<std::string, PageId>> entries;
   std::string low_mark;
   {
-    std::shared_lock<std::shared_mutex> latch(page->latch());
+    std::shared_lock<PageLatch> latch(page->latch());
     if (page->type() != PageType::kInternal || page->level() != 1) {
       ctx_->bp->UnpinPage(pid, false);
       ctx_->locks->Unlock(kReorgTxnId, PageLock(pid));
@@ -51,25 +68,12 @@ Status TreeBuilder::ReadBasePage(PageId pid) {
   }
   ctx_->bp->UnpinPage(pid, false);
 
-  size_t created_before = builder_.created_pages().size();
   for (const auto& [sep, child] : entries) {
     s = builder_.Add(sep, child);
     if (!s.ok()) {
       ctx_->locks->Unlock(kReorgTxnId, PageLock(pid));
       return s;
     }
-  }
-  // Log allocations of new internal pages (§7.3: "space allocation ... is
-  // also logged"; allocations after the last force-write are reclaimed at
-  // recovery).
-  for (size_t i = created_before; i < builder_.created_pages().size(); ++i) {
-    LogRecord alloc;
-    alloc.type = LogType::kAllocPage;
-    alloc.txn_id = kReorgTxnId;
-    alloc.page_id = builder_.created_pages()[i];
-    alloc.flags = 1;  // pass-3 allocation (reclaimable past the stable key)
-    ctx_->log->Append(&alloc);
-    ++pages_since_stable_;
   }
 
   // Advance CK to Get_Next(CK) *before* giving up the S lock (§7.1).

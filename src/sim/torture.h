@@ -1,0 +1,100 @@
+// Crash-torture harness: the executable form of the paper's §5.1 claim that
+// the reorganizer is forward-recoverable from a crash at *any* point.
+//
+// One torture run fixes a deterministic workload (load dense, sparsify by
+// deletion, checkpoint — the survivors are the model), counts the I/O points
+// a full Reorganize() performs (every WAL/page write, append and sync, via
+// FaultInjectionEnv::ObserveOnly), then replays the workload once per crash
+// point: rebuild, arm the fault at point i, reorganize until the fault
+// fires, Crash() the env, reopen (running RecoveryManager + forward
+// recovery), and verify the recovered tree — scan equals the model, key
+// count matches, CheckConsistency passes.
+//
+// Modes:
+//   kCleanCrash    — the Nth write/append/sync fails and the env goes down:
+//                    classic power loss; recovery must produce the model.
+//   kTornPageWrite — the Nth page-file write persists only a prefix: the
+//                    page checksum must detect the tear (Open returns
+//                    Corruption) or recovery must still produce the model
+//                    (the torn page was superseded/never replayed). A torn
+//                    image silently accepted into a wrong tree is a failure.
+//   kTornWalWrite  — the Nth WAL write is cut short: a torn tail, which
+//                    recovery must treat as end-of-log and roll forward
+//                    from, never as an error and never past it.
+//
+// Used by tests/crash_torture_test.cc (full sweep) and
+// bench/bench_crash_torture.cc (--quick CI smoke).
+
+#ifndef SOREORG_SIM_TORTURE_H_
+#define SOREORG_SIM_TORTURE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/storage/fault_env.h"
+
+namespace soreorg {
+
+enum class TortureMode {
+  kCleanCrash,
+  kTornPageWrite,
+  kTornWalWrite,
+};
+
+struct TortureOptions {
+  TortureMode mode = TortureMode::kCleanCrash;
+
+  // Workload shape (SparsifyByDeletion).
+  uint64_t records = 600;
+  size_t value_size = 48;
+  double dense_fill = 0.95;
+  double delete_fraction = 0.6;
+  uint64_t key_stride = 10;
+  uint64_t seed = 42;
+
+  // Sweep shape: crash at every `stride`-th I/O point, at most `max_points`
+  // iterations (0 = unbounded). stride 1 = crash at *every* point.
+  int stride = 1;
+  int max_points = 0;
+
+  // Torn-write modes: bytes of the write that reach the durable image.
+  size_t tear_keep_bytes = 1536;
+
+  // After a successful recovery, run Reorganize() to completion and verify
+  // again — proves the recovered state is not just readable but resumable.
+  bool complete_after = false;
+
+  DatabaseOptions db;
+};
+
+struct TortureStats {
+  int points_total = 0;    // I/O points one clean Reorganize() performs
+  int points_tested = 0;   // crash iterations executed
+  int faults_fired = 0;    // iterations where the armed fault actually hit
+  int recoveries_ok = 0;   // reopened and verified model-equal + consistent
+  int detected_corruptions = 0;  // torn image detected (Open -> Corruption)
+  int failures = 0;              // undetected divergence — must be zero
+  std::vector<std::string> failure_details;  // first few, for the test log
+};
+
+class TortureHarness {
+ public:
+  explicit TortureHarness(TortureOptions options);
+
+  /// Runs the full sweep. Returns OK iff stats->failures == 0.
+  Status Run(TortureStats* stats);
+
+ private:
+  Status BuildWorkload(FaultInjectionEnv* env,
+                       std::unique_ptr<Database>* db);
+  Status VerifyAgainstModel(Database* db, const char* where);
+  void RecordFailure(TortureStats* stats, int point, const std::string& what);
+
+  TortureOptions options_;
+  std::vector<std::pair<std::string, std::string>> model_;
+};
+
+}  // namespace soreorg
+
+#endif  // SOREORG_SIM_TORTURE_H_

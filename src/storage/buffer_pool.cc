@@ -1,6 +1,7 @@
 #include "src/storage/buffer_pool.h"
 
 #include <cassert>
+#include <thread>
 
 namespace soreorg {
 
@@ -104,6 +105,10 @@ Status BufferPool::ShardGetVictim(Shard* shard, size_t* frame_idx) {
       std::lock_guard<std::mutex> fg(flush_mu_);
       if (p->is_dirty()) {
         Status s = FlushLockedWrite(p);
+        // Busy: the victim (or one of its write-order dependencies) has an
+        // exclusive writer mid-update. Skip to the next LRU candidate rather
+        // than blocking with two pool mutexes held.
+        if (s.IsBusy()) continue;
         if (!s.ok()) return s;
       }
     }
@@ -139,12 +144,26 @@ void BufferPool::FlushLockedProcessDeferredDeallocs() {
 
 Status BufferPool::FlushLockedWriteOne(Page* p) {
   const PageId pid = p->page_id();
-  if (wal_flush_ && p->page_lsn() != kInvalidLsn) {
-    Status s = wal_flush_(p->page_lsn());
+  // Copy the page image through the latch's snapshot interlock instead of
+  // reading the live bytes: an exclusive writer may be mid-update, and we
+  // must not block on its latch while holding flush_mu_ (it may be parked on
+  // flush_mu_ inside a fetch-eviction or dirty unpin). Unstable bytes defer
+  // the page — callers retry after releasing flush_mu_.
+  if (!p->latch().SnapshotBytes(p->data(), flush_scratch_, kPageSize)) {
+    return Status::Busy("page bytes unstable (exclusive writer active)");
+  }
+  // WAL interlock against the snapshot's LSN: it is the image being written,
+  // not whatever the live bytes say by now.
+  const Lsn snap_lsn = DecodeFixed64(flush_scratch_);
+  if (wal_flush_ && snap_lsn != kInvalidLsn) {
+    Status s = wal_flush_(snap_lsn);
     if (!s.ok()) return s;
   }
-  Status s = disk_->WritePage(pid, *p);
+  Status s = disk_->WritePage(pid, flush_scratch_);
   if (!s.ok()) return s;
+  // A writer that modified bytes after our snapshot re-marks the page dirty
+  // at unpin — that transition takes flush_mu_, so it serializes after this
+  // clear and the newer image is flushed on the next pass.
   p->set_dirty(false);
   dirty_pages_.erase(pid);
   durable_.erase(pid);
@@ -223,12 +242,21 @@ Status BufferPool::FlushLockedWriteAllDirty() {
   std::vector<Page*> dirty;
   dirty.reserve(dirty_pages_.size());
   for (const auto& entry : dirty_pages_) dirty.push_back(entry.second);
+  bool busy = false;
   for (Page* p : dirty) {
     if (!p->is_dirty()) continue;  // already written as someone's dependency
     Status s = FlushLockedWrite(p);
+    if (s.IsBusy()) {
+      // A writer is mid-update on this page (or a dependency): flush the
+      // rest now, report Busy so the caller retries after releasing
+      // flush_mu_ — the writer needs it to finish its unpin.
+      busy = true;
+      continue;
+    }
     if (!s.ok()) return s;
   }
-  return Status::OK();
+  return busy ? Status::Busy("dirty pages deferred (writers active)")
+              : Status::OK();
 }
 
 Status BufferPool::FetchPage(PageId page_id, Page** page) {
@@ -401,46 +429,83 @@ Status BufferPool::DeletePageDeferred(PageId victim, PageId until) {
   return Status::OK();
 }
 
+// The flush entry points below retry on Busy with every pool mutex released
+// between attempts: the exclusive writer that made the bytes unstable may
+// itself be parked on flush_mu_ (dirty unpin, fetch-eviction), so spinning
+// while holding it would livelock. Writers hold exclusive latches only for
+// short in-memory updates, so the loops terminate.
+
 Status BufferPool::FlushPage(PageId page_id) {
   Shard& shard = shard_for(page_id);
-  std::lock_guard<std::mutex> g(shard.mu);
-  auto it = shard.page_table.find(page_id);
-  if (it == shard.page_table.end()) {
-    return Status::NotFound("flush of uncached page");
+  while (true) {
+    {
+      std::lock_guard<std::mutex> g(shard.mu);
+      auto it = shard.page_table.find(page_id);
+      if (it == shard.page_table.end()) {
+        return Status::NotFound("flush of uncached page");
+      }
+      Page* p = shard.frames[it->second].page.get();
+      if (!p->is_dirty()) return Status::OK();
+      std::lock_guard<std::mutex> fg(flush_mu_);
+      if (!p->is_dirty()) return Status::OK();  // cleaned as a dependency
+      Status s = FlushLockedWrite(p);
+      if (!s.IsBusy()) return s;
+    }
+    std::this_thread::yield();
   }
-  Page* p = shard.frames[it->second].page.get();
-  if (!p->is_dirty()) return Status::OK();
-  std::lock_guard<std::mutex> fg(flush_mu_);
-  if (!p->is_dirty()) return Status::OK();  // cleaned as a dependency
-  return FlushLockedWrite(p);
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> fg(flush_mu_);
-  return FlushLockedWriteAllDirty();
+  while (true) {
+    {
+      std::lock_guard<std::mutex> fg(flush_mu_);
+      Status s = FlushLockedWriteAllDirty();
+      if (!s.IsBusy()) return s;
+    }
+    std::this_thread::yield();
+  }
 }
 
 Status BufferPool::FlushAndSync() {
-  std::lock_guard<std::mutex> fg(flush_mu_);
-  Status s = FlushLockedWriteAllDirty();
-  if (!s.ok()) return s;
-  return FlushLockedSync();
+  while (true) {
+    {
+      std::lock_guard<std::mutex> fg(flush_mu_);
+      Status s = FlushLockedWriteAllDirty();
+      if (s.ok()) return FlushLockedSync();
+      if (!s.IsBusy()) return s;
+    }
+    std::this_thread::yield();
+  }
 }
 
 Status BufferPool::ForcePages(const std::vector<PageId>& page_ids) {
-  std::lock_guard<std::mutex> fg(flush_mu_);
-  bool wrote = false;
-  for (PageId pid : page_ids) {
-    auto it = dirty_pages_.find(pid);
-    if (it == dirty_pages_.end()) continue;  // uncached or already clean
-    Status s = FlushLockedWrite(it->second);
-    if (!s.ok()) return s;
-    wrote = true;
+  while (true) {
+    bool busy = false;
+    {
+      std::lock_guard<std::mutex> fg(flush_mu_);
+      bool wrote = false;
+      for (PageId pid : page_ids) {
+        auto it = dirty_pages_.find(pid);
+        if (it == dirty_pages_.end()) continue;  // uncached or already clean
+        Status s = FlushLockedWrite(it->second);
+        if (s.IsBusy()) {
+          busy = true;
+          continue;
+        }
+        if (!s.ok()) return s;
+        wrote = true;
+      }
+      if (!busy) {
+        // Pages written on an earlier (Busy) attempt sit in
+        // written_unsynced_, so the sync condition still sees them.
+        if (wrote || !written_unsynced_.empty()) {
+          return FlushLockedSync();
+        }
+        return Status::OK();
+      }
+    }
+    std::this_thread::yield();
   }
-  if (wrote || !written_unsynced_.empty()) {
-    return FlushLockedSync();
-  }
-  return Status::OK();
 }
 
 void BufferPool::AddWriteOrder(PageId first, PageId then) {

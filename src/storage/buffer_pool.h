@@ -94,6 +94,15 @@ class BufferPool {
   /// honouring any DeferredDealloc gate. The page must be unpinned.
   Status DeletePage(PageId page_id);
 
+  // Flushers never read live page bytes: each page image is copied through
+  // PageLatch::SnapshotBytes (which refuses while an exclusive writer is
+  // mid-update) into a scratch buffer and written from there. A refused page
+  // is deferred with Status::Busy internally; the public entry points retry
+  // with all pool mutexes released between attempts, so the writer that made
+  // the bytes unstable can finish its unpin. This closes the old
+  // flush-vs-modify byte race without the flusher ever blocking on a latch
+  // while holding flush_mu_ (which would deadlock against latch-holders
+  // parked on flush_mu_ inside fetch-eviction or dirty unpin).
   Status FlushPage(PageId page_id);
   Status FlushAll();
 
@@ -152,9 +161,14 @@ class BufferPool {
   // FlushLockedWrite walks the write-order graph iteratively (cycle-safe:
   // retained edges plus page-id reuse can close a loop) and writes every
   // non-durable dependency, with fsync barriers, before the page itself.
+  // Returns Busy when a page's bytes are unstable (exclusive writer active);
+  // aborting mid-walk is safe: an edge set is only erased after its
+  // dependencies are written and their barrier issued, so a retry re-walks
+  // exactly the constraints that still need enforcing.
   Status FlushLockedWrite(Page* page);
-  // Single page image: WAL interlock, disk write, bookkeeping. No
-  // dependency handling — only FlushLockedWrite calls this.
+  // Single page image: snapshot via the latch interlock (Busy if a writer
+  // is active), WAL interlock, disk write, bookkeeping. No dependency
+  // handling — only FlushLockedWrite calls this.
   Status FlushLockedWriteOne(Page* page);
   Status FlushLockedWriteAllDirty();
   Status FlushLockedSync();
@@ -175,6 +189,9 @@ class BufferPool {
   std::set<PageId> written_unsynced_;
   std::set<PageId> durable_;
   std::vector<std::pair<PageId, PageId>> deferred_deallocs_;  // (victim,until)
+  // Flush snapshot buffer: every page write goes disk-ward from here, never
+  // from live frame bytes. Guarded by flush_mu_ like the rest.
+  char flush_scratch_[kPageSize];
 
   std::atomic<uint64_t> misses_{0};
 };

@@ -3,8 +3,27 @@
 #include <cstring>
 
 #include "src/util/coding.h"
+#include "src/util/crc32c.h"
 
 namespace soreorg {
+
+namespace {
+
+bool AllZero(const char* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+uint32_t PageChecksum(const char* page_image) {
+  uint32_t crc = crc32c::Value(page_image, kPageChecksumOffset);
+  crc = crc32c::Extend(crc, page_image + kPageChecksumOffset + 4,
+                       kPageSize - kPageChecksumOffset - 4);
+  return crc32c::Mask(crc);
+}
 
 DiskManager::DiskManager(Env* env, std::string file_name)
     : env_(env), file_name_(std::move(file_name)) {}
@@ -32,8 +51,18 @@ Status DiskManager::ReadPage(PageId page_id, Page* page) {
                          page->data(), &n);
   if (!s.ok()) return s;
   if (n < kPageSize) {
-    // Page was allocated but never written (fresh extension): treat as zeroed.
+    // Page was allocated but never written (fresh extension), or the image
+    // was cut short — zero-fill and let the checksum decide which.
     memset(page->data() + n, 0, kPageSize - n);
+  }
+  uint32_t stored = DecodeFixed32(page->data() + kPageChecksumOffset);
+  if (n > 0 && !(stored == 0 && AllZero(page->data(), kPageSize))) {
+    if (stored != PageChecksum(page->data())) {
+      std::lock_guard<std::mutex> g(mu_);
+      ++checksum_failures_;
+      return Status::Corruption("page " + std::to_string(page_id) +
+                                " checksum mismatch (torn or corrupt image)");
+    }
   }
   page->set_page_id(page_id);
   if (obs) obs(page_id, /*is_write=*/false);
@@ -41,14 +70,23 @@ Status DiskManager::ReadPage(PageId page_id, Page* page) {
 }
 
 Status DiskManager::WritePage(PageId page_id, const Page& page) {
+  // Callers of this overload hand over a quiescent Page (recovery redo,
+  // tests); copy to a scratch image so stamping never mutates their bytes.
+  char scratch[kPageSize];
+  memcpy(scratch, page.data(), kPageSize);
+  return WritePage(page_id, scratch);
+}
+
+Status DiskManager::WritePage(PageId page_id, char* page_image) {
   IoObserver obs;
   {
     std::lock_guard<std::mutex> g(mu_);
     ++pages_written_;
     obs = io_observer_;
   }
+  EncodeFixed32(page_image + kPageChecksumOffset, PageChecksum(page_image));
   Status s = file_->Write(static_cast<uint64_t>(page_id) * kPageSize,
-                          Slice(page.data(), kPageSize));
+                          Slice(page_image, kPageSize));
   if (!s.ok()) return s;
   if (obs) obs(page_id, /*is_write=*/true);
   return Status::OK();
@@ -113,6 +151,11 @@ bool DiskManager::IsAllocated(PageId page_id) const {
 PageId DiskManager::page_count() const {
   std::lock_guard<std::mutex> g(mu_);
   return next_page_id_;
+}
+
+uint64_t DiskManager::checksum_failures() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return checksum_failures_;
 }
 
 size_t DiskManager::free_count() const {

@@ -36,8 +36,15 @@ class DiskManager {
   /// Open/create the backing file.
   Status Open();
 
+  /// Reads verify the per-page checksum: a mismatch returns
+  /// Status::Corruption (torn or rotted images are detected, never silently
+  /// replayed). A never-written all-zero page is accepted as fresh.
   Status ReadPage(PageId page_id, Page* page);
   Status WritePage(PageId page_id, const Page& page);
+
+  /// Write a raw 4 KiB page image (the buffer pool's flush snapshot). The
+  /// checksum is stamped into `page_image` in place before the write.
+  Status WritePage(PageId page_id, char* page_image);
 
   /// fsync the page file.
   Status SyncFile();
@@ -70,6 +77,8 @@ class DiskManager {
 
   uint64_t pages_read() const { return pages_read_; }
   uint64_t pages_written() const { return pages_written_; }
+  /// ReadPage checksum mismatches since open (recovery surfaces this).
+  uint64_t checksum_failures() const;
   void ResetStats() { pages_read_ = pages_written_ = 0; }
 
  private:
@@ -83,7 +92,13 @@ class DiskManager {
   IoObserver io_observer_;
   uint64_t pages_read_ = 0;
   uint64_t pages_written_ = 0;
+  uint64_t checksum_failures_ = 0;
 };
+
+/// Masked CRC32C of a 4 KiB page image, covering every byte except the
+/// checksum field itself ([0, kPageChecksumOffset) ++ [kPageChecksumOffset+4,
+/// kPageSize)). Exposed so tests can forge and verify images.
+uint32_t PageChecksum(const char* page_image);
 
 }  // namespace soreorg
 

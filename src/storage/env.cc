@@ -135,6 +135,21 @@ void MemEnv::Crash() {
   crashed_ = false;
 }
 
+Status MemEnv::SyncRange(const std::string& name, uint64_t offset, size_t n) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end() || !it->second->exists) {
+    return Status::NotFound(name);
+  }
+  FileState& st = *it->second;
+  if (offset > st.volatile_image.size()) return Status::OK();
+  size_t avail = st.volatile_image.size() - offset;
+  size_t take = n < avail ? n : avail;
+  if (st.durable.size() < offset + take) st.durable.resize(offset + take);
+  memcpy(st.durable.data() + offset, st.volatile_image.data() + offset, take);
+  return Status::OK();
+}
+
 void MemEnv::set_write_observer(WriteObserver obs) {
   std::lock_guard<std::mutex> g(mu_);
   observer_ = std::move(obs);

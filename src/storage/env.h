@@ -81,6 +81,13 @@ class MemEnv : public Env {
   /// crashed flag. Open File handles remain usable and see durable state.
   void Crash();
 
+  /// Promote bytes [offset, offset+n) of `name`'s volatile image into the
+  /// durable image, extending it if needed, without a full Sync(). This is
+  /// the torn-write primitive: FaultInjectionEnv uses it to model a power
+  /// cut that persisted only a prefix of a page write — the prefix must
+  /// survive the subsequent Crash() or the tear would be invisible.
+  Status SyncRange(const std::string& name, uint64_t offset, size_t n);
+
   void set_write_observer(WriteObserver obs);
 
   /// True once an injected fault has fired (until Crash() clears it).

@@ -8,7 +8,10 @@
 //   [14..15] flags
 //   [16..19] prev_page   : side pointer (leaf level), kInvalidPageId if none
 //   [20..23] next_page   : side pointer (leaf level), kInvalidPageId if none
-//   [24..31] reserved
+//   [24..27] checksum    : masked CRC32C of the page image (stamped by
+//                          DiskManager::WritePage, verified by ReadPage;
+//                          0 only on a never-written all-zero page)
+//   [28..31] reserved
 // The remainder of the 4 KiB is owned by the layout on top (SlottedPage).
 //
 // A Page object lives inside a buffer-pool frame; the runtime fields (pin
@@ -20,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <mutex>
 #include <shared_mutex>
 
 #include "src/util/coding.h"
@@ -33,12 +37,78 @@ constexpr size_t kPageSize = 4096;
 constexpr PageId kInvalidPageId = 0xffffffffu;
 constexpr Lsn kInvalidLsn = 0;
 
+/// Byte offset of the per-page checksum within the header. The checksum
+/// covers every page byte except its own four ([0,24) ++ [28,4096)).
+constexpr size_t kPageChecksumOffset = 24;
+
 enum class PageType : uint8_t {
   kFree = 0,
   kLeaf = 1,
   kInternal = 2,   // includes base pages (level 1) and all upper levels
   kMeta = 3,       // database superblock
   kSideFile = 4,   // pass-3 side-file table pages
+};
+
+/// The per-frame physical latch, plus the IO-in-progress interlock that lets
+/// the buffer-pool flusher copy page bytes without racing an exclusive
+/// writer. Satisfies the SharedMutex concept, so std::unique_lock /
+/// std::shared_lock over it work unchanged at every existing call site.
+///
+/// Why not have the flusher take the shared latch? Threads hold page latches
+/// while calling into the pool (fetch-eviction, dirty unpin), which acquires
+/// shard and flush mutexes — so a flusher that blocked on a latch while
+/// holding the flush mutex would deadlock (latch → flush vs flush → latch).
+/// Instead SnapshotBytes never blocks: it copies under a tiny leaf mutex if
+/// and only if no exclusive writer is active, else reports "unstable" and the
+/// flusher defers the page and retries after releasing the flush mutex.
+///
+/// Lock order: snap_mu_ is a leaf. Writers take mu_ → snap_mu_ (flag flip
+/// only); the flusher takes flush_mu_ → snap_mu_ (memcpy only). Nothing
+/// blocks inside snap_mu_, so no cycle is possible. The interlock is what
+/// makes the copy race-free under TSan: page bytes mutate only between the
+/// writing_=true and writing_=false flips, and the memcpy runs only while
+/// writing_ is false, with both sides ordered by snap_mu_.
+class PageLatch {
+ public:
+  void lock() {
+    mu_.lock();
+    std::lock_guard<std::mutex> g(snap_mu_);
+    writing_ = true;
+  }
+
+  bool try_lock() {
+    if (!mu_.try_lock()) return false;
+    std::lock_guard<std::mutex> g(snap_mu_);
+    writing_ = true;
+    return true;
+  }
+
+  void unlock() {
+    {
+      std::lock_guard<std::mutex> g(snap_mu_);
+      writing_ = false;
+    }
+    mu_.unlock();
+  }
+
+  void lock_shared() { mu_.lock_shared(); }
+  bool try_lock_shared() { return mu_.try_lock_shared(); }
+  void unlock_shared() { mu_.unlock_shared(); }
+
+  /// Copy `n` bytes from src to dst iff no exclusive writer is mid-update.
+  /// Returns false (copying nothing) when the bytes are unstable; the caller
+  /// must retry later without holding locks the writer may need.
+  bool SnapshotBytes(const char* src, char* dst, size_t n) {
+    std::lock_guard<std::mutex> g(snap_mu_);
+    if (writing_) return false;
+    memcpy(dst, src, n);
+    return true;
+  }
+
+ private:
+  std::shared_mutex mu_;
+  std::mutex snap_mu_;  // leaf: guards writing_ and the snapshot memcpy
+  bool writing_ = false;
 };
 
 class Page {
@@ -95,8 +165,9 @@ class Page {
   void set_dirty(bool d) { dirty_.store(d, std::memory_order_release); }
 
   /// Short-duration physical latch (distinct from logical locks held in the
-  /// LockManager). Shared for readers, exclusive for modifiers.
-  std::shared_mutex& latch() { return latch_; }
+  /// LockManager). Shared for readers, exclusive for modifiers; the flusher
+  /// uses PageLatch::SnapshotBytes instead of acquiring it.
+  PageLatch& latch() { return latch_; }
 
   static constexpr size_t kHeaderSize = 32;
 
@@ -105,7 +176,7 @@ class Page {
   PageId page_id_ = kInvalidPageId;
   std::atomic<int> pin_count_{0};
   std::atomic<bool> dirty_{false};
-  std::shared_mutex latch_;
+  PageLatch latch_;
 };
 
 }  // namespace soreorg

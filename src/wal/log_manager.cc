@@ -1,9 +1,15 @@
 #include "src/wal/log_manager.h"
 
+#include <algorithm>
+
 #include "src/util/coding.h"
 #include "src/util/crc32c.h"
 
 namespace soreorg {
+
+namespace {
+bool ValidFrameAt(const File* file, uint64_t off, uint64_t size);
+}  // namespace
 
 LogManager::LogManager(Env* env, std::string file_name)
     : env_(env), file_name_(std::move(file_name)) {}
@@ -30,9 +36,25 @@ Status LogManager::Open() {
     if (crc32c::Unmask(masked) != crc32c::Value(body.data(), len)) break;
     off += kFrameHeader + len;
   }
-  // Discard any torn tail so new appends start clean. LSNs are byte
+  // Before discarding the tail as torn, make sure it really is a tail: a
+  // CRC-valid frame beyond the damage means mid-log corruption, and
+  // truncating would silently destroy valid (possibly acknowledged)
+  // records. That must fail loudly, not self-heal.
+  if (off < size) {
+    constexpr uint64_t kResyncWindow = 64 * 1024;
+    const uint64_t limit = std::min(size, off + kResyncWindow);
+    for (uint64_t probe = off + 1; probe < limit; ++probe) {
+      if (ValidFrameAt(file_.get(), probe, size)) {
+        return Status::Corruption(
+            "WAL has valid records beyond a corrupt frame at offset " +
+            std::to_string(off) + " (mid-log damage, not a torn tail)");
+      }
+    }
+  }
+  // Discard the torn tail so new appends start clean. LSNs are byte
   // offsets biased by +1 so that offset 0 is representable (kInvalidLsn
   // is 0).
+  open_dropped_bytes_ = size - off;
   file_->Truncate(off);
   next_lsn_ = off + 1;
   flushed_lsn_.store(off + 1, std::memory_order_release);
@@ -149,28 +171,94 @@ Lsn LogManager::FlushedLsn() const {
   return flushed_lsn_.load(std::memory_order_acquire);
 }
 
-Status LogManager::ReadAll(std::vector<LogRecord>* out, Lsn start_lsn) const {
+namespace {
+
+/// True iff a whole, CRC-valid, parseable frame starts at `off`.
+bool ValidFrameAt(const File* file, uint64_t off, uint64_t size) {
+  if (off + LogManager::kFrameHeader > size) return false;
+  char hdr[LogManager::kFrameHeader];
+  size_t n = 0;
+  if (!file->Read(off, LogManager::kFrameHeader, hdr, &n).ok() ||
+      n < LogManager::kFrameHeader) {
+    return false;
+  }
+  uint32_t len = DecodeFixed32(hdr);
+  uint32_t masked = DecodeFixed32(hdr + 4);
+  if (len == 0 || off + LogManager::kFrameHeader + len > size) return false;
+  std::string body(len, '\0');
+  if (!file->Read(off + LogManager::kFrameHeader, len, body.data(), &n).ok() ||
+      n < len) {
+    return false;
+  }
+  if (crc32c::Unmask(masked) != crc32c::Value(body.data(), len)) return false;
+  LogRecord rec;
+  return LogRecord::Parse(Slice(body), &rec).ok();
+}
+
+}  // namespace
+
+Status LogManager::ReadAll(std::vector<LogRecord>* out, Lsn start_lsn,
+                           LogReadStats* stats) const {
   std::lock_guard<std::mutex> g(mu_);
   uint64_t size = file_->Size();
   uint64_t off = start_lsn == 0 ? 0 : start_lsn - 1;
+  bool bad_frame = false;
   while (off + kFrameHeader <= size) {
     char hdr[kFrameHeader];
     size_t n = 0;
     Status s = file_->Read(off, kFrameHeader, hdr, &n);
-    if (!s.ok() || n < kFrameHeader) break;
+    if (!s.ok() || n < kFrameHeader) {
+      bad_frame = true;
+      break;
+    }
     uint32_t len = DecodeFixed32(hdr);
     uint32_t masked = DecodeFixed32(hdr + 4);
-    if (len == 0 || off + kFrameHeader + len > size) break;
+    if (len == 0 || off + kFrameHeader + len > size) {
+      bad_frame = true;
+      break;
+    }
     std::string body(len, '\0');
     s = file_->Read(off + kFrameHeader, len, body.data(), &n);
-    if (!s.ok() || n < len) break;
-    if (crc32c::Unmask(masked) != crc32c::Value(body.data(), len)) break;
+    if (!s.ok() || n < len) {
+      bad_frame = true;
+      break;
+    }
+    if (crc32c::Unmask(masked) != crc32c::Value(body.data(), len)) {
+      bad_frame = true;
+      break;
+    }
     LogRecord rec;
     s = LogRecord::Parse(Slice(body), &rec);
-    if (!s.ok()) break;
+    if (!s.ok()) {
+      bad_frame = true;
+      break;
+    }
     rec.lsn = off + 1;
     out->push_back(std::move(rec));
     off += kFrameHeader + len;
+  }
+  if (stats != nullptr) {
+    stats->records_read = out->size();
+    stats->valid_bytes = off;
+    stats->dropped_bytes = size > off ? size - off : 0;
+    stats->torn_tail = bad_frame && size > off;
+    stats->mid_log_corruption = false;
+    if (stats->torn_tail) {
+      // A torn tail is the expected shape after power loss: the last batch
+      // was cut off and nothing follows it. If a valid frame re-appears at
+      // some later offset, the damage is in the *middle* of the log and
+      // silently stopping here would drop committed records — scan a
+      // bounded window for one. (A false positive needs random bytes to
+      // pass a CRC32C, ~2^-32 per candidate offset.)
+      constexpr uint64_t kResyncWindow = 64 * 1024;
+      uint64_t limit = std::min(size, off + kResyncWindow);
+      for (uint64_t cand = off + 1; cand + kFrameHeader <= limit; ++cand) {
+        if (ValidFrameAt(file_.get(), cand, size)) {
+          stats->mid_log_corruption = true;
+          break;
+        }
+      }
+    }
   }
   return Status::OK();
 }
@@ -216,6 +304,11 @@ uint64_t LogManager::bytes_for_type(LogType t) const {
 
 uint64_t LogManager::sync_batches() const {
   return sync_batches_.load(std::memory_order_relaxed);
+}
+
+uint64_t LogManager::open_dropped_bytes() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return open_dropped_bytes_;
 }
 
 void LogManager::ResetStats() {

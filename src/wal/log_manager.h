@@ -48,6 +48,18 @@
 
 namespace soreorg {
 
+/// What a full-log scan found past the valid prefix. A torn tail (the last
+/// frame cut short or CRC-failed) is the normal post-crash state and not an
+/// error; a valid frame *beyond* garbage means the middle of the log is
+/// damaged and replay must not proceed silently.
+struct LogReadStats {
+  uint64_t records_read = 0;
+  uint64_t valid_bytes = 0;    // length of the cleanly-parsed prefix
+  uint64_t dropped_bytes = 0;  // file bytes past the valid prefix
+  bool torn_tail = false;      // scan stopped on a bad/short frame
+  bool mid_log_corruption = false;  // valid frame found after the bad one
+};
+
 class LogManager {
  public:
   LogManager(Env* env, std::string file_name);
@@ -80,8 +92,11 @@ class LogManager {
   Lsn FlushedLsn() const;
 
   /// Scan all valid records from `start_lsn` (default: start of log).
-  /// Corrupt/torn tails terminate the scan without error.
-  Status ReadAll(std::vector<LogRecord>* out, Lsn start_lsn = 0) const;
+  /// Corrupt/torn tails terminate the scan without error; when `stats` is
+  /// given, the tail is characterized (bytes dropped, and whether a valid
+  /// frame exists beyond it — mid-log corruption the caller should refuse).
+  Status ReadAll(std::vector<LogRecord>* out, Lsn start_lsn = 0,
+                 LogReadStats* stats = nullptr) const;
 
   /// Read the single record at `lsn`.
   Status ReadAt(Lsn lsn, LogRecord* rec) const;
@@ -94,6 +109,10 @@ class LogManager {
   /// an Env sync counter this is the oracle for "N concurrent commits cost
   /// ~1 fsync".
   uint64_t sync_batches() const;
+  /// Torn-tail bytes Open() truncated away (0 for a clean log). Recovery
+  /// surfaces this in RecoveryResult — the tail is gone by the time redo's
+  /// ReadAll runs, so only Open can report it.
+  uint64_t open_dropped_bytes() const;
   void ResetStats();
 
   static constexpr size_t kFrameHeader = 8;  // len + crc
@@ -111,6 +130,7 @@ class LogManager {
   size_t buffer_limit_ = 256 * 1024;
   uint64_t bytes_appended_ = 0;
   uint64_t records_appended_ = 0;
+  uint64_t open_dropped_bytes_ = 0;
   std::array<uint64_t, 32> type_bytes_{};
 
   // Durability state: all records with lsn < flushed_lsn_ are durable.

@@ -2,6 +2,7 @@
 // crash is FINISHED at restart, not rolled back — and the rollback policy
 // (the conventional alternative) is validated as the E4 ablation.
 
+#include "src/storage/fault_env.h"
 #include "tests/test_util.h"
 
 namespace soreorg {
@@ -173,6 +174,175 @@ TEST_F(ForwardRecoveryTest, CrashDuringPass3RestartsFromStableKey) {
     EXPECT_TRUE(db_->tree()->CheckConsistency().ok());
     EXPECT_EQ(CountRecords(), survivors_.size());
   }
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv crash-point sweeps. Unlike the CrashInjector tests above
+// (which crash at hand-picked WAL writes), these count the I/O points of one
+// specific pass with a dry run and then crash at points across the whole
+// pass — including every point of pass 3 and the switch, where the
+// incarnation dichotomy must hold: a recovered incarnation above the
+// pre-pass one means the new root is installed; an unchanged incarnation
+// means the old root is. Either way the tree serves the full record set.
+// ---------------------------------------------------------------------------
+
+class FaultRecoveryTest : public ::testing::Test {
+ protected:
+  enum Pass { kLeaf = 0, kSwap = 1, kInternal = 2 };
+
+  /// Fresh env + db with the sparse workload built, every pass *before*
+  /// `pass` completed cleanly, and a checkpoint taken — the deterministic
+  /// state each crash iteration restarts from.
+  void BuildTo(Pass pass) {
+    db_.reset();
+    base_ = std::make_unique<MemEnv>();
+    env_ = std::make_unique<FaultInjectionEnv>(base_.get());
+    ASSERT_TRUE(Database::Open(env_.get(), options_, &db_).ok());
+    ASSERT_TRUE(SparsifyByDeletion(db_.get(), 1200, 48, 0.95, 0.7, 10, 7,
+                                   &survivors_)
+                    .ok());
+    if (pass > kLeaf) {
+      ASSERT_TRUE(db_->reorganizer()->RunLeafPass().ok());
+    }
+    if (pass > kSwap) {
+      ASSERT_TRUE(db_->reorganizer()->RunSwapPass().ok());
+    }
+    ASSERT_TRUE(db_->Checkpoint().ok());
+  }
+
+  Status RunPass(Pass pass) {
+    switch (pass) {
+      case kLeaf:
+        return db_->reorganizer()->RunLeafPass();
+      case kSwap:
+        return db_->reorganizer()->RunSwapPass();
+      case kInternal:
+        return db_->reorganizer()->RunInternalPass();
+    }
+    return Status::OK();
+  }
+
+  /// Dry run: how many write/append/sync ops does `pass` perform?
+  int CountPoints(Pass pass) {
+    BuildTo(pass);
+    env_->ObserveOnly();
+    Status s = RunPass(pass);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    int points = static_cast<int>(env_->ops_observed());
+    env_->Disarm();
+    return points;
+  }
+
+  uint64_t CountRecords() {
+    uint64_t n = 0;
+    db_->Scan(Slice(), Slice(), [&n](const Slice&, const Slice&) {
+      ++n;
+      return true;
+    });
+    return n;
+  }
+
+  void VerifyRecovered(int crash_at) {
+    EXPECT_TRUE(db_->tree()->CheckConsistency().ok())
+        << "crash at " << crash_at;
+    EXPECT_EQ(CountRecords(), survivors_.size()) << "crash at " << crash_at;
+  }
+
+  /// Crash at ~12 points spread over `pass`, recover, verify.
+  void SweepPass(Pass pass) {
+    int points = CountPoints(pass);
+    ASSERT_GT(points, 0);
+    int stride = points > 12 ? points / 12 : 1;
+    for (int i = 1; i <= points; i += stride) {
+      BuildTo(pass);
+      env_->FailOpAfter(i, "", "");
+      RunPass(pass);  // dies at point i; the status is the crash itself
+      ASSERT_TRUE(env_->fault_fired()) << "crash at " << i;
+      db_.reset();
+      env_->Crash();
+      ASSERT_TRUE(Database::Open(env_.get(), options_, &db_).ok())
+          << "crash at " << i;
+      VerifyRecovered(i);
+    }
+  }
+
+  DatabaseOptions options_;
+  std::unique_ptr<MemEnv> base_;
+  std::unique_ptr<FaultInjectionEnv> env_;
+  std::unique_ptr<Database> db_;
+  std::vector<uint64_t> survivors_;
+};
+
+TEST_F(FaultRecoveryTest, LeafPassCrashPointSweep) { SweepPass(kLeaf); }
+
+TEST_F(FaultRecoveryTest, SwapPassCrashPointSweep) { SweepPass(kSwap); }
+
+TEST_F(FaultRecoveryTest, InternalPassAndSwitchIncarnationDichotomy) {
+  int points = CountPoints(kInternal);
+  ASSERT_GT(points, 0);
+
+  int before_switch = 0;
+  int after_switch = 0;
+  for (int i = 1; i <= points; ++i) {
+    BuildTo(kInternal);
+    const PageId old_root = db_->tree()->root();
+    const uint64_t old_inc = db_->tree()->incarnation();
+
+    env_->FailOpAfter(i, "", "");
+    RunPass(kInternal);
+    ASSERT_TRUE(env_->fault_fired()) << "crash at " << i;
+    db_.reset();
+    env_->Crash();
+    ASSERT_TRUE(Database::Open(env_.get(), options_, &db_).ok())
+        << "crash at " << i;
+
+    // The switch is atomic-on-durable-state: either the switch record made
+    // it to the durable log (new incarnation, new root) or it did not (old
+    // incarnation, old root). Nothing in between.
+    const uint64_t inc = db_->tree()->incarnation();
+    if (inc > old_inc) {
+      EXPECT_NE(db_->tree()->root(), old_root) << "crash at " << i;
+      ++after_switch;
+    } else {
+      EXPECT_EQ(inc, old_inc) << "crash at " << i;
+      EXPECT_EQ(db_->tree()->root(), old_root) << "crash at " << i;
+      ++before_switch;
+    }
+    VerifyRecovered(i);
+
+    // A pre-switch crash may leave pass 3 resumable; completing it must
+    // still converge to a switched, consistent tree.
+    if (db_->pass3_pending()) {
+      ASSERT_TRUE(db_->ResumeInternalPass().ok()) << "crash at " << i;
+      VerifyRecovered(i);
+    }
+  }
+  // The sweep must actually have exercised both sides of the switch.
+  EXPECT_GT(before_switch, 0);
+  EXPECT_GT(after_switch, 0);
+}
+
+TEST_F(FaultRecoveryTest, TornWalTailSurfacesInRecoveryResult) {
+  BuildTo(kLeaf);
+  // A committed durable prefix...
+  ASSERT_TRUE(db_->Put(EncodeU64Key(1), "durable").ok());
+  // ...then the WAL batch write for the next commit tears mid-frame.
+  env_->TearWriteAfter(1, ".wal", /*keep_bytes=*/5);
+  EXPECT_FALSE(db_->Put(EncodeU64Key(2), "torn").ok());
+  db_.reset();
+  env_->Crash();
+
+  ASSERT_TRUE(Database::Open(env_.get(), options_, &db_).ok());
+  // The torn tail is surfaced as forensics, not an error...
+  EXPECT_TRUE(db_->recovery_result().wal_tail_torn);
+  EXPECT_GT(db_->recovery_result().wal_bytes_dropped, 0u);
+  EXPECT_EQ(db_->recovery_result().page_checksum_failures, 0u);
+  // ...and the durable prefix is intact while the torn commit is gone.
+  std::string v;
+  EXPECT_TRUE(db_->Get(EncodeU64Key(1), &v).ok());
+  EXPECT_EQ(v, "durable");
+  EXPECT_TRUE(db_->Get(EncodeU64Key(2), &v).IsNotFound());
+  EXPECT_TRUE(db_->tree()->CheckConsistency().ok());
 }
 
 }  // namespace
