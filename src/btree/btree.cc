@@ -1,6 +1,7 @@
 #include "src/btree/btree.h"
 
 #include <cassert>
+#include <optional>
 
 #include "src/btree/iterator.h"
 #include "src/util/coding.h"
@@ -165,6 +166,7 @@ Status BTree::LowerSeparatorIfNeeded(Transaction* txn, const Slice& key) {
       return h2;
     }
 
+    BufferPool::ApplyScope apply_scope(bp_);
     {
       std::unique_lock<PageLatch> latch(page->latch());
       InternalNode node(page);
@@ -428,9 +430,16 @@ Status BTree::Insert(Transaction* txn, const Slice& key, const Slice& value) {
   }
 
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    uint64_t seen = incarnation_.load();
     DescentResult r;
     s = FindLeaf(id, key, LockMode::kX, /*keep_base_lock=*/false, &r);
     if (!s.ok()) return s;
+    if (incarnation_.load() != seen) {
+      // Root flipped mid-descent (§7.4 step-aside): the old-tree routing
+      // that picked this leaf may be stale. Re-descend via the new root.
+      locks_->Unlock(id, PageLock(r.leaf));
+      continue;
+    }
 
     if (key.compare(r.leaf_separator) < 0) {
       // The key is below its leaf's separator (reachable only via slot-0
@@ -462,6 +471,7 @@ Status BTree::Insert(Transaction* txn, const Slice& key, const Slice& value) {
       return Status::InvalidArgument("duplicate key");
     }
     if (fits) {
+      BufferPool::ApplyScope apply_scope(bp_);
       {
         std::unique_lock<PageLatch> latch(leaf_page->latch());
         LeafNode ln(leaf_page);
@@ -482,6 +492,13 @@ Status BTree::Insert(Transaction* txn, const Slice& key, const Slice& value) {
     std::vector<PageId> path;
     s = FindLeafPessimistic(id, key, /*for_insert=*/true, need, &path);
     if (!s.ok()) return s;
+    if (incarnation_.load() != seen) {
+      // The descent may have been blocked across an entire switch (§7.4); a
+      // split along a superseded path would put the separator in the old
+      // tree's base, invisible to the new tree. Re-descend via the new root.
+      UnlockPages(id, &path);
+      continue;
+    }
 
     s = bp_->FetchPage(path.back(), &leaf_page);
     if (!s.ok()) {
@@ -530,6 +547,7 @@ Status BTree::InsertSeparatorInto(Transaction* txn, PageId node_pid,
   Status s = bp_->FetchPage(node_pid, &page);
   if (!s.ok()) return s;
   Status rs;
+  BufferPool::ApplyScope apply_scope(bp_);
   {
     std::unique_lock<PageLatch> latch(page->latch());
     InternalNode node(page);
@@ -591,6 +609,9 @@ Status BTree::SplitInternal(Transaction* txn, const std::vector<PageId>& path,
 
   std::vector<std::string> cells;
   UnpackCells(moved, &cells);
+  // Physical change through dirty-unpin rides in one apply scope so a
+  // concurrent checkpoint's redo floor cannot split it.
+  BufferPool::ApplyScope apply_scope(bp_);
   {
     std::unique_lock<PageLatch> latch(new_page->latch());
     InternalNode::Format(new_page, new_pid, level, separator);
@@ -655,10 +676,17 @@ Status BTree::SplitInternal(Transaction* txn, const std::vector<PageId>& path,
     // The parent is guaranteed (by EnsureSeparatorRoom) to have room.
     s = InsertSeparatorInto(txn, path[idx - 1], separator, new_pid);
     if (!s.ok()) {
+      guard.Release();
+      new_guard.Release();
       locks_->Unlock(id, PageLock(new_pid));
       return s;
     }
   }
+
+  // Dirty-unpin both halves while still inside the apply scope (the guards
+  // themselves outlive it).
+  guard.Release();
+  new_guard.Release();
 
   *out_separator = separator;
   *out_new_pid = new_pid;
@@ -838,7 +866,11 @@ Status BTree::SplitLeaf(Transaction* txn, const std::vector<PageId>& path,
 
   // --- point of no return: all fallible steps done -------------------------
 
-  // 6. Move the upper cells and fix side pointers.
+  // 6. Move the upper cells and fix side pointers. The whole physical
+  // change (both leaf images, the neighbor's back pointer, the separator
+  // insert) rides in one apply scope so a concurrent checkpoint's redo
+  // floor cannot split any append from its byte effects.
+  BufferPool::ApplyScope apply_scope(bp_);
   std::vector<std::string> cells;
   UnpackCells(moved, &cells);
   {
@@ -898,6 +930,11 @@ Status BTree::SplitLeaf(Transaction* txn, const std::vector<PageId>& path,
   // Cannot fail: room was reserved under X locks. Surface any surprise.
   assert(s.ok());
 
+  // Dirty-unpin both leaves while still inside the apply scope (the guards
+  // themselves outlive it).
+  leaf_guard.Release();
+  new_guard.Release();
+
   unlock_neighbor();
   UnlockPages(id, &extra_locked);
   locks_->Unlock(id, PageLock(new_pid));
@@ -916,9 +953,15 @@ Status BTree::Update(Transaction* txn, const Slice& key, const Slice& value) {
   if (!s.ok()) return s;
 
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    uint64_t seen = incarnation_.load();
     DescentResult r;
     s = FindLeaf(id, key, LockMode::kX, /*keep_base_lock=*/false, &r);
     if (!s.ok()) return s;
+    if (incarnation_.load() != seen) {
+      // Root flipped mid-descent (§7.4 step-aside): re-descend.
+      locks_->Unlock(id, PageLock(r.leaf));
+      continue;
+    }
 
     Page* leaf_page;
     s = bp_->FetchPage(r.leaf, &leaf_page);
@@ -947,6 +990,7 @@ Status BTree::Update(Transaction* txn, const Slice& key, const Slice& value) {
       return Status::NotFound("key not found");
     }
     if (fits) {
+      BufferPool::ApplyScope apply_scope(bp_);
       {
         std::unique_lock<PageLatch> latch(leaf_page->latch());
         LeafNode ln(leaf_page);
@@ -977,9 +1021,15 @@ Status BTree::Delete(Transaction* txn, const Slice& key) {
   if (!s.ok()) return s;
 
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    uint64_t seen = incarnation_.load();
     DescentResult r;
     s = FindLeaf(id, key, LockMode::kX, /*keep_base_lock=*/false, &r);
     if (!s.ok()) return s;
+    if (incarnation_.load() != seen) {
+      // Root flipped mid-descent (§7.4 step-aside): re-descend.
+      locks_->Unlock(id, PageLock(r.leaf));
+      continue;
+    }
 
     Page* leaf_page;
     s = bp_->FetchPage(r.leaf, &leaf_page);
@@ -1004,6 +1054,7 @@ Status BTree::Delete(Transaction* txn, const Slice& key) {
       return Status::NotFound("key not found");
     }
     if (count > 1) {
+      BufferPool::ApplyScope apply_scope(bp_);
       {
         std::unique_lock<PageLatch> latch(leaf_page->latch());
         LeafNode ln(leaf_page);
@@ -1023,6 +1074,12 @@ Status BTree::Delete(Transaction* txn, const Slice& key) {
     std::vector<PageId> path;
     s = FindLeafPessimistic(id, key, /*for_insert=*/false, 0, &path);
     if (!s.ok()) return s;
+    if (incarnation_.load() != seen) {
+      // Blocked across a switch (§7.4): unlinking along a superseded path
+      // would remove the separator from the old tree's base only. Re-descend.
+      UnlockPages(id, &path);
+      continue;
+    }
 
     s = bp_->FetchPage(path.back(), &leaf_page);
     if (!s.ok()) {
@@ -1045,13 +1102,16 @@ Status BTree::Delete(Transaction* txn, const Slice& key) {
       return Status::NotFound("key vanished during retry");
     }
     {
-      std::unique_lock<PageLatch> latch(leaf_page->latch());
-      LeafNode ln(leaf_page);
-      ln.RemoveAt(pos2);
-      s = LogRecordOp(txn, LogType::kDelete, path.back(), key, old_value,
-                      Slice(), leaf_page);
+      BufferPool::ApplyScope apply_scope(bp_);
+      {
+        std::unique_lock<PageLatch> latch(leaf_page->latch());
+        LeafNode ln(leaf_page);
+        ln.RemoveAt(pos2);
+        s = LogRecordOp(txn, LogType::kDelete, path.back(), key, old_value,
+                        Slice(), leaf_page);
+      }
+      bp_->UnpinPage(path.back(), s.ok());
     }
-    bp_->UnpinPage(path.back(), s.ok());
     if (!s.ok()) {
       UnlockPages(id, &path);
       return s;
@@ -1165,7 +1225,10 @@ Status BTree::FreeEmptyLeaf(Transaction* txn, const std::vector<PageId>& path) {
     }
   }
 
-  // Point of no return: log, then apply.
+  // Point of no return: log, then apply. The unlink records and their page
+  // effects (including the cascade) ride in one apply scope so a concurrent
+  // checkpoint's redo floor cannot split them.
+  BufferPool::ApplyScope apply_scope(bp_);
   LogRecord rec;
   rec.type = LogType::kNodeFree;
   rec.txn_id = txn->id();
@@ -1282,32 +1345,47 @@ Status BTree::Get(Transaction* txn, const Slice& key, std::string* value) {
     if (ephemeral) locks_->Unlock(id, TreeLock(inc));
   };
 
-  DescentResult r;
-  s = FindLeaf(id, key, LockMode::kS, /*keep_base_lock=*/false, &r);
-  if (!s.ok()) {
-    cleanup_tree();
-    return s;
+  for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    uint64_t seen = incarnation_.load();
+    DescentResult r;
+    s = FindLeaf(id, key, LockMode::kS, /*keep_base_lock=*/false, &r);
+    if (!s.ok()) {
+      cleanup_tree();
+      return s;
+    }
+    if (incarnation_.load() != seen) {
+      // The switch flipped the root mid-descent. Under the step-aside
+      // protocol new-tree base updates can land before the old tree has
+      // drained, so a descent routed through old internal pages may have
+      // reached a leaf whose keys were since split off to the right. The
+      // leaf lock is granted, so nothing can move now — but the routing
+      // may already be stale; re-descend via the (new) root.
+      locks_->Unlock(id, PageLock(r.leaf));
+      continue;
+    }
+    Page* leaf_page;
+    s = bp_->FetchPage(r.leaf, &leaf_page);
+    if (!s.ok()) {
+      locks_->Unlock(id, PageLock(r.leaf));
+      cleanup_tree();
+      return s;
+    }
+    bool exact;
+    {
+      std::shared_lock<PageLatch> latch(leaf_page->latch());
+      LeafNode ln(leaf_page);
+      int pos = ln.LowerBound(key, &exact);
+      if (exact) *value = ln.ValueAt(pos).ToString();
+    }
+    bp_->UnpinPage(r.leaf, false);
+    if (ephemeral) {
+      locks_->Unlock(id, PageLock(r.leaf));
+      cleanup_tree();
+    }
+    return exact ? Status::OK() : Status::NotFound("key not found");
   }
-  Page* leaf_page;
-  s = bp_->FetchPage(r.leaf, &leaf_page);
-  if (!s.ok()) {
-    locks_->Unlock(id, PageLock(r.leaf));
-    cleanup_tree();
-    return s;
-  }
-  bool exact;
-  {
-    std::shared_lock<PageLatch> latch(leaf_page->latch());
-    LeafNode ln(leaf_page);
-    int pos = ln.LowerBound(key, &exact);
-    if (exact) *value = ln.ValueAt(pos).ToString();
-  }
-  bp_->UnpinPage(r.leaf, false);
-  if (ephemeral) {
-    locks_->Unlock(id, PageLock(r.leaf));
-    cleanup_tree();
-  }
-  return exact ? Status::OK() : Status::NotFound("key not found");
+  cleanup_tree();
+  return Status::Busy("get retries exhausted");
 }
 
 Status BTree::Scan(Transaction* txn, const Slice& lo, const Slice& hi,
@@ -1502,6 +1580,11 @@ Status BTree::NextBaseIn(TxnId locker, PageId node_pid, const Slice& key,
 
 Status BTree::SwitchRoot(PageId new_root, uint8_t new_height,
                          uint64_t new_incarnation) {
+  // Apply scope: the switch record and the in-memory root flip must land on
+  // the same side of a concurrent checkpoint's redo floor (the image
+  // serializes the root it sees; a record below the floor is never
+  // replayed).
+  BufferPool::ApplyScope apply_scope(bp_);
   LogRecord rec;
   rec.type = LogType::kTreeSwitch;
   rec.page_id = new_root;
@@ -1702,7 +1785,7 @@ Status BTree::CheckSubtree(PageId pid, const Slice& lo, const Slice& hi,
 // ---------------------------------------------------------------------------
 
 Status BTree::BaseApply(Transaction* txn, BaseUpdateOp op, const Slice& key,
-                        PageId leaf) {
+                        PageId leaf, bool* already_applied) {
   TxnId id = txn->id();
   for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
     std::vector<PageId> path;
@@ -1714,6 +1797,29 @@ Status BTree::BaseApply(Transaction* txn, BaseUpdateOp op, const Slice& key,
     PageId base = path.back();
 
     if (op == BaseUpdateOp::kInsert) {
+      // Duplicate tolerance: under the base page's X lock, an exact
+      // separator match means the entry was already applied (a step-aside
+      // re-drain, or the updater's own direct application). Verify and
+      // return instead of letting the node-level insert fail.
+      Page* base_page;
+      s = bp_->FetchPage(base, &base_page);
+      if (!s.ok()) {
+        UnlockPages(id, &path);
+        return s;
+      }
+      bool present;
+      {
+        std::shared_lock<PageLatch> latch(base_page->latch());
+        InternalNode node(base_page);
+        node.LowerBound(key, &present);
+      }
+      bp_->UnpinPage(base, false);
+      if (present) {
+        UnlockPages(id, &path);
+        if (already_applied) *already_applied = true;
+        return Status::OK();
+      }
+
       PageId target = base;
       std::vector<PageId> extra;
       s = EnsureSeparatorRoom(txn, path, path.size() - 1, key, &target,
@@ -1739,24 +1845,27 @@ Status BTree::BaseApply(Transaction* txn, BaseUpdateOp op, const Slice& key,
     }
     Status rs = Status::NotFound("separator not found");
     {
-      std::unique_lock<PageLatch> latch(page->latch());
-      InternalNode node(page);
-      bool exact;
-      int pos = node.LowerBound(key, &exact);
-      if (exact) {
-        node.RemoveAt(pos);
-        LogRecord rec;
-        rec.type = LogType::kDelete;
-        rec.flags = kInternalCell;
-        rec.txn_id = txn->id();
-        rec.page_id = base;
-        rec.key = key.ToString();
-        log_->Append(&rec);
-        page->set_page_lsn(rec.lsn);
-        rs = Status::OK();
+      BufferPool::ApplyScope apply_scope(bp_);
+      {
+        std::unique_lock<PageLatch> latch(page->latch());
+        InternalNode node(page);
+        bool exact;
+        int pos = node.LowerBound(key, &exact);
+        if (exact) {
+          node.RemoveAt(pos);
+          LogRecord rec;
+          rec.type = LogType::kDelete;
+          rec.flags = kInternalCell;
+          rec.txn_id = txn->id();
+          rec.page_id = base;
+          rec.key = key.ToString();
+          log_->Append(&rec);
+          page->set_page_lsn(rec.lsn);
+          rs = Status::OK();
+        }
       }
+      bp_->UnpinPage(base, rs.ok());
     }
-    bp_->UnpinPage(base, rs.ok());
     UnlockPages(id, &path);
     return rs;
   }
@@ -1792,6 +1901,9 @@ Status BTree::UndoRecordOp(Transaction* txn, const LogRecord& original) {
     }
     bool need_split = false;
     Status rs;
+    // Scoped so the apply scope ends before the (blocking) split retry.
+    std::optional<BufferPool::ApplyScope> apply_scope;
+    apply_scope.emplace(bp_);
     {
       std::unique_lock<PageLatch> latch(leaf_page->latch());
       LeafNode ln(leaf_page);
@@ -1837,6 +1949,7 @@ Status BTree::UndoRecordOp(Transaction* txn, const LogRecord& original) {
       }
     }
     bp_->UnpinPage(leaf_pid, rs.ok() && !need_split);
+    apply_scope.reset();
     if (need_split) {
       s = SplitLeaf(txn, path, key);
       UnlockPages(id, &path);

@@ -154,8 +154,13 @@ class BTree {
   /// entry in the base page covering `key`, splitting base pages if needed.
   /// Used by the pass-3 builder to apply side-file entries to the new tree
   /// (which is Attach()-ed to a temporary BTree object before the switch).
+  /// Duplicate-tolerant (§7.4 step-aside): inserting a separator that is
+  /// already present is a verified no-op, not an error — the recording
+  /// updater may have applied its split to this tree directly after a Busy
+  /// redirect, with the side entry drained afterwards. When the change was
+  /// found already in effect, *already_applied (if non-null) is set true.
   Status BaseApply(Transaction* txn, BaseUpdateOp op, const Slice& key,
-                   PageId leaf);
+                   PageId leaf, bool* already_applied = nullptr);
 
   /// Undo one of this transaction's record operations (logical, ARIES
   /// style): performs the inverse change wherever the key now lives and

@@ -29,8 +29,8 @@ Status Database::Open(Env* env, DatabaseOptions options,
       [log](Lsn lsn) { return log->FlushTo(lsn); },
       db->options_.buffer_pool_shards);
 
-  db->txn_mgr_ =
-      std::make_unique<TransactionManager>(db->log_.get(), &db->locks_);
+  db->txn_mgr_ = std::make_unique<TransactionManager>(
+      db->log_.get(), &db->locks_, db->bp_.get());
   db->side_file_ = std::make_unique<SideFile>(&db->locks_, db->log_.get());
 
   // --- restart recovery: analysis + redo ------------------------------------
@@ -194,10 +194,24 @@ Status Database::ResumeInternalPass() {
 }
 
 Status Database::Checkpoint() {
+  // Capture the redo floor BEFORE the flush walk: the walk is fuzzy — it
+  // runs in several flush-lock holds while updaters and the reorganizer
+  // keep logging — so a record appended during it may be applied to pages
+  // the walk already wrote. Every such record's LSN is >= this floor, and
+  // recovery replays from here instead of from the checkpoint record.
+  //
+  // The capture waits for apply quiescence: a record appended just below
+  // the floor whose page bytes were not yet applied (and whose page was
+  // therefore not yet dirty) would be both skipped by redo and missed by
+  // the walk. ApplyScope brackets in the mutators make append→apply→
+  // dirty-unpin atomic with respect to this capture.
+  const Lsn redo_lsn =
+      bp_->CaptureAtQuiescence([this] { return log_->NextLsn(); });
   Status s = bp_->FlushAndSync();
   if (!s.ok()) return s;
 
   CheckpointImage image;
+  image.redo_lsn = redo_lsn;
   image.disk_meta = disk_->SerializeMeta();
   image.active_txns = txn_mgr_->ActiveSnapshot();
   image.next_txn_id = txn_mgr_->next_txn_id();

@@ -242,7 +242,17 @@ Status RecoveryManager::Recover(RecoveryResult* result) {
     s = CheckpointImage::Parse(ck.payload, &image);
     if (!s.ok()) return s;
     have_ckpt = true;
-    start_lsn = ckpt_lsn;
+    // Redo starts at the image's redo floor, captured before the
+    // checkpoint's fuzzy flush walk began — not at the checkpoint record
+    // itself: records logged during the walk may be only partially
+    // reflected in the flushed pages and must be replayed. Replay over the
+    // [redo_lsn, ckpt_lsn) prefix is idempotent: page redo is
+    // pageLSN-guarded, allocation redo is set-idempotent, metadata replay
+    // re-derives what the image already holds, and side-file redo is
+    // watermark-gated below.
+    start_lsn = image.redo_lsn != kInvalidLsn
+                    ? std::min(image.redo_lsn, ckpt_lsn)
+                    : ckpt_lsn;
   } else if (!s.IsNotFound()) {
     return s;
   }
@@ -263,6 +273,10 @@ Status RecoveryManager::Recover(RecoveryResult* result) {
       if (!s.ok()) return s;
     }
   }
+  // Side records the restored image already reflects must not be replayed:
+  // RedoInsert/RedoApply are positional (blind push/pop), not idempotent.
+  const Lsn side_skip_lsn =
+      (side_file_ != nullptr) ? side_file_->restored_lsn() : kInvalidLsn;
 
   // --- redo -------------------------------------------------------------------
   const uint64_t checksum_failures_before = disk_->checksum_failures();
@@ -411,16 +425,16 @@ Status RecoveryManager::Recover(RecoveryResult* result) {
         pass3_allocs_since_stable.clear();
         break;
       case LogType::kSideInsert:
-        if (side_file_) {
+        if (side_file_ && rec.lsn > side_skip_lsn) {
           side_file_->RedoInsert(static_cast<BaseUpdateOp>(rec.unit_type),
                                  rec.key, rec.page_id);
         }
         break;
       case LogType::kSideApply:
-        if (side_file_) side_file_->RedoApply();
+        if (side_file_ && rec.lsn > side_skip_lsn) side_file_->RedoApply();
         break;
       case LogType::kSideCancel:
-        if (side_file_) {
+        if (side_file_ && rec.lsn > side_skip_lsn) {
           side_file_->RedoCancel(static_cast<BaseUpdateOp>(rec.unit_type),
                                  rec.key, rec.page_id);
         }

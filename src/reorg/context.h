@@ -24,6 +24,13 @@ struct ReorgStats {
   uint64_t pages_freed = 0;
   uint64_t unit_retries = 0;    // deadlock-victim retries (§4.1, §5.2)
   uint64_t side_entries_applied = 0;
+  /// Entries skipped by the drain's seq high-water mark (already applied in
+  /// an earlier catch-up round; §7.4 step-aside re-drains).
+  uint64_t side_duplicates_skipped = 0;
+  /// Entries whose application found the base change already present — the
+  /// recording updater also applied it directly after a Busy redirect — and
+  /// verified the no-op instead of failing on the duplicate separator.
+  uint64_t side_reapplied_noops = 0;
   uint64_t stable_points = 0;
   uint64_t units_resumed = 0;   // forward-recovery completions
 };

@@ -316,7 +316,14 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
   }
 
   // --- 3. BEGIN ------------------------------------------------------------
+  // Each logged step below (BEGIN through END) brackets its append and the
+  // matching page/table effects in a BufferPool::ApplyScope so a concurrent
+  // checkpoint's redo floor cannot land between a record and its effects.
+  // The scopes stay per-step — never spanning a lock-manager wait such as
+  // the base X upgrade — so the checkpoint is never stalled behind lock
+  // contention.
   if (!resume) {
+    BufferPool::ApplyScope apply_scope(bp);
     LogRecord begin;
     begin.type = LogType::kReorgBegin;
     begin.txn_id = id;
@@ -333,6 +340,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
 
   // --- 4. Prepare the destination ------------------------------------------
   if (!in_place) {
+    BufferPool::ApplyScope apply_scope(bp);
     if (dest_claimed) {
       LogRecord alloc;
       alloc.type = LogType::kAllocPage;
@@ -424,6 +432,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
 
     // Log the MOVE (org first, then the physical change — the paper writes
     // the org-page record first; we use one record covering both pages).
+    BufferPool::ApplyScope apply_scope(bp);
     LogRecord move;
     move.type = LogType::kReorgMove;
     move.txn_id = id;
@@ -442,6 +451,17 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
     }
     ctx_->log->Append(&move);
     ctx_->table->RecordLsn(move.lsn);
+
+    if (ctx_->careful_writing) {
+      // The source's old disk image must survive until the destination is
+      // durable (that is what lets the MOVE record carry only keys).
+      // Register the dependency BEFORE touching either page: once the
+      // source's post-move bytes exist, any flusher — an eviction or a
+      // checkpoint's walk — may pick the source up, and without the edge
+      // in place it would write the record-less image with the destination
+      // still stale, making the moved records unrecoverable.
+      bp->AddWriteOrder(dest, src);
+    }
 
     {
       std::unique_lock<PageLatch> latch(dest_page->latch());
@@ -465,11 +485,6 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
     }
     bp->UnpinPage(src, true);
 
-    if (ctx_->careful_writing) {
-      // The source's old disk image must survive until the destination is
-      // durable (that is what lets the MOVE record carry only keys).
-      bp->AddWriteOrder(dest, src);
-    }
     done_moves.push_back({src, moved});
     ctx_->stats->records_moved += moved.size();
     unit_high_key = std::max(unit_high_key, moved.back().first);
@@ -486,6 +501,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
   s = locks->Lock(id, PageLock(base_pid), LockMode::kX);
   if (!s.ok()) {
     // §5.2 undo-at-deadlock: move everything back, then close the unit.
+    BufferPool::ApplyScope apply_scope(bp);
     for (auto it = done_moves.rbegin(); it != done_moves.rend(); ++it) {
       LogRecord back;
       back.type = LogType::kReorgMove;
@@ -559,6 +575,7 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
   }
   std::vector<PageId> now_empty;
   std::vector<PageId> live_sources;
+  BufferPool::ApplyScope modify_scope(bp);
   {
     std::unique_lock<PageLatch> latch(base_page->latch());
     InternalNode base(base_page);

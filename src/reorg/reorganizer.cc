@@ -65,13 +65,17 @@ Status Reorganizer::RunInternalPass(const Slice& resume_key,
   TreeBuilder builder(&ctx_, side_file_, options_.builder);
 
   // §7.2: create the side file and set the reorganization bit *before*
-  // reading begins.
+  // reading begins. Open() re-admits recorders after a previous switch
+  // closed the side file.
+  side_file_->Open();
+  switch_stats_ = SwitchStats{};
   InstallHook(&builder);
   ctx_.tree->set_reorg_bit(true);
   ctx_.table->set_pass3(true, resume_key, resume_top);
 
   Status s = builder.Run(resume_key, resume_top);
   if (!s.ok()) {
+    side_file_->Close();
     ctx_.tree->set_reorg_bit(false);
     ctx_.tree->set_base_update_hook(nullptr);
     ctx_.tree->set_base_update_cancel_hook(nullptr);
@@ -81,10 +85,16 @@ Status Reorganizer::RunInternalPass(const Slice& resume_key,
 
   Switcher switcher(&ctx_, side_file_, options_.switcher);
   s = switcher.Switch(&builder, &switch_stats_);
-  if (!s.ok()) {
+  if (!s.ok() && !switch_stats_.root_flipped) {
+    // Pre-flip failure: the old tree is still the tree; dismantle the
+    // pass-3 state entirely. (Post-flip failures roll forward inside the
+    // Switcher, which leaves the system consistent on the new tree — there
+    // is nothing left to clean here, and doing so would double-clear.)
+    side_file_->Close();
     ctx_.tree->set_reorg_bit(false);
     ctx_.tree->set_base_update_hook(nullptr);
     ctx_.tree->set_base_update_cancel_hook(nullptr);
+    ctx_.table->set_pass3(false, Slice(), kInvalidPageId);
   }
   return s;
 }

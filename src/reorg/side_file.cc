@@ -19,6 +19,15 @@ Status SideFile::Record(Transaction* txn, BaseUpdateOp op, const Slice& key,
     if (!s.ok()) return s;
     return Status::Busy("switch completed; retry on new tree");
   }
+  {
+    // closed_ flips only under the side-file X lock, which excludes our IX,
+    // so this check cannot race with a concurrent Close(). It catches the
+    // updater that captured the base-update hook just before the switch
+    // dismantled it: recording now would leave a phantom entry with no
+    // drain left to apply it.
+    std::lock_guard<std::mutex> g(mu_);
+    if (closed_) return Status::Busy("switch completed; retry on new tree");
+  }
   s = locks_->Lock(txn->id(), SideKeyLock(key.ToString()), LockMode::kX);
   if (!s.ok()) return s;
 
@@ -29,12 +38,16 @@ Status SideFile::Record(Transaction* txn, BaseUpdateOp op, const Slice& key,
   rec.unit_type = static_cast<uint8_t>(op);
   rec.key = key.ToString();
   rec.page_id = leaf;
+
+  // Append and insert under one mutex hold: the checkpoint watermark
+  // (last_lsn_) promises that entries_ reflects exactly the side records
+  // up to it, which a gap between the append and the insert would break.
+  std::lock_guard<std::mutex> g(mu_);
   s = log_->Append(&rec);
   if (!s.ok()) return s;
   txn->set_last_lsn(rec.lsn);
-
-  std::lock_guard<std::mutex> g(mu_);
   entries_.push_back(SideEntry{op, key.ToString(), leaf, ++next_seq_});
+  last_lsn_ = rec.lsn;
   ++total_recorded_;
   return Status::OK();
 }
@@ -72,36 +85,41 @@ Status SideFile::PopFront(SideEntry* entry, bool* empty) {
     if (entries_.front().seq != e.seq) {
       continue;
     }
+    // Log the application and pop under the same mutex hold so the
+    // checkpoint watermark stays exact; on append failure the entry stays
+    // queued (nothing was consumed) and the caller sees the error.
+    LogRecord rec;
+    rec.type = LogType::kSideApply;
+    rec.txn_id = kReorgTxnId;
+    rec.unit_type = static_cast<uint8_t>(e.op);
+    rec.key = e.key;
+    rec.page_id = e.leaf;
+    Status s = log_->Append(&rec);
+    if (!s.ok()) return s;
+    last_lsn_ = rec.lsn;
     entries_.pop_front();
     break;
   }
   *empty = false;
   *entry = e;
-  LogRecord rec;
-  rec.type = LogType::kSideApply;
-  rec.txn_id = kReorgTxnId;
-  rec.unit_type = static_cast<uint8_t>(e.op);
-  rec.key = e.key;
-  rec.page_id = e.leaf;
-  Status s = log_->Append(&rec);
-  if (!s.ok()) return s;
   return Status::OK();
 }
 
 Status SideFile::Cancel(Transaction* txn, BaseUpdateOp op, const Slice& key,
                         PageId leaf) {
-  bool removed = false;
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-      if (it->op == op && it->key == key.view() && it->leaf == leaf) {
-        entries_.erase(std::next(it).base());
-        removed = true;
-        break;
-      }
+  std::lock_guard<std::mutex> g(mu_);
+  auto found = entries_.rend();
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->op == op && it->key == key.view() && it->leaf == leaf) {
+      found = it;
+      break;
     }
   }
-  if (!removed) return Status::OK();
+  if (found == entries_.rend()) return Status::OK();
+  // Log first, erase second, all under the mutex: the erase must never be
+  // visible (to a checkpoint's Serialize) without its record accounted in
+  // the watermark, and an unlogged erase would resurrect as a phantom when
+  // recovery replays the original kSideInsert.
   LogRecord rec;
   rec.type = LogType::kSideCancel;
   rec.txn_id = txn->id();
@@ -112,6 +130,8 @@ Status SideFile::Cancel(Transaction* txn, BaseUpdateOp op, const Slice& key,
   Status s = log_->Append(&rec);
   if (!s.ok()) return s;
   txn->set_last_lsn(rec.lsn);
+  last_lsn_ = rec.lsn;
+  entries_.erase(std::next(found).base());
   return Status::OK();
 }
 
@@ -140,6 +160,21 @@ void SideFile::UndoInsert(BaseUpdateOp op, const Slice& key) {
   }
 }
 
+void SideFile::Open() {
+  std::lock_guard<std::mutex> g(mu_);
+  closed_ = false;
+}
+
+void SideFile::Close() {
+  std::lock_guard<std::mutex> g(mu_);
+  closed_ = true;
+}
+
+bool SideFile::closed() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return closed_;
+}
+
 size_t SideFile::size() const {
   std::lock_guard<std::mutex> g(mu_);
   return entries_.size();
@@ -158,6 +193,7 @@ void SideFile::Clear() {
 std::string SideFile::Serialize() const {
   std::lock_guard<std::mutex> g(mu_);
   std::string out;
+  PutVarint64(&out, last_lsn_);
   PutVarint32(&out, static_cast<uint32_t>(entries_.size()));
   for (const SideEntry& e : entries_) {
     out.push_back(static_cast<char>(e.op));
@@ -169,6 +205,10 @@ std::string SideFile::Serialize() const {
 
 Status SideFile::Restore(const Slice& image) {
   Slice in = image;
+  uint64_t watermark;
+  if (!GetVarint64(&in, &watermark)) {
+    return Status::Corruption("side file image");
+  }
   uint32_t n;
   if (!GetVarint32(&in, &n)) return Status::Corruption("side file image");
   std::deque<SideEntry> entries;
@@ -191,7 +231,14 @@ Status SideFile::Restore(const Slice& image) {
   // The checkpoint image carries no seqs (they are process-local); re-tag.
   for (SideEntry& e : entries) e.seq = ++next_seq_;
   entries_ = std::move(entries);
+  restored_lsn_ = watermark;
+  last_lsn_ = watermark;
   return Status::OK();
+}
+
+Lsn SideFile::restored_lsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return restored_lsn_;
 }
 
 void SideFile::RedoInsert(BaseUpdateOp op, const Slice& key, PageId leaf) {

@@ -53,6 +53,17 @@ class SideFile {
   Status Record(Transaction* txn, BaseUpdateOp op, const Slice& key,
                 PageId leaf);
 
+  /// Accept recordings (reorg start). The side file starts open.
+  void Open();
+
+  /// Stop accepting recordings: every later Record returns kBusy even if
+  /// the table lock is free. Called by the Switcher — under the side-file X
+  /// lock — just before it dismantles the pass-3 state, closing the race
+  /// where an updater captured the base-update hook before cleanup cleared
+  /// it and would otherwise insert a phantom entry nobody will ever drain.
+  void Close();
+  bool closed() const;
+
   /// Remove one entry (FIFO) for the reorganizer to apply; logs kSideApply.
   /// Sets *empty when nothing was pending. Acquires (and releases) the
   /// entry's record lock under the reorganizer id first, so an entry whose
@@ -78,9 +89,16 @@ class SideFile {
   uint64_t total_recorded() const;
   void Clear();
 
-  /// Checkpoint/restart support.
+  /// Checkpoint/restart support. The image carries a watermark: the LSN of
+  /// the newest side log record whose effect the entry list reflects.
+  /// Record/PopFront/Cancel append their log record and mutate the list
+  /// under one mutex hold, so the watermark is exact — recovery skips side
+  /// records at or below it (RedoInsert/RedoApply are not idempotent) and
+  /// replays only the tail the image has not seen.
   std::string Serialize() const;
   Status Restore(const Slice& image);
+  /// Watermark carried by the image Restore() consumed (0 if none).
+  Lsn restored_lsn() const;
   /// Re-apply a logged insertion during recovery redo.
   void RedoInsert(BaseUpdateOp op, const Slice& key, PageId leaf);
   /// Drop one entry during recovery redo of kSideApply.
@@ -101,6 +119,12 @@ class SideFile {
   std::deque<SideEntry> entries_;
   uint64_t total_recorded_ = 0;
   uint64_t next_seq_ = 0;  // SideEntry::seq source; guarded by mu_
+  bool closed_ = false;    // set under the side-file X lock; guarded by mu_
+  /// LSN of the newest side record reflected in entries_; guarded by mu_.
+  /// Updated atomically with the list mutation it describes, so a
+  /// checkpoint's Serialize() snapshot is exact.
+  Lsn last_lsn_ = kInvalidLsn;
+  Lsn restored_lsn_ = kInvalidLsn;  // watermark from the restored image
 };
 
 }  // namespace soreorg

@@ -295,7 +295,11 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
   }
 
   // --- BEGIN -------------------------------------------------------------------
+  // As in the leaf pass, every logged step brackets its append and effects
+  // in a BufferPool::ApplyScope (per step, never across a lock wait) so a
+  // concurrent checkpoint's redo floor cannot split record from effect.
   if (!resume) {
+    BufferPool::ApplyScope apply_scope(bp);
     LogRecord begin;
     begin.type = LogType::kReorgBegin;
     begin.txn_id = id;
@@ -369,6 +373,7 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
       std::shared_lock<PageLatch> lb(page_b->latch());
       cells_b = ReadAllCells(page_b);
     }
+    BufferPool::ApplyScope apply_scope(bp);
     LogRecord move;
     move.type = LogType::kReorgMove;
     move.txn_id = id;
@@ -380,6 +385,12 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
     move.payload = PackCells(cells_a);
     ctx_->log->Append(&move);
     ctx_->table->RecordLsn(move.lsn);
+    // Careful-writing order (§6.1): b (which now holds a's old image) must
+    // not reach disk before a is durable. The edge goes in BEFORE either
+    // page's bytes change — once b's post-swap image exists, any flusher
+    // may pick it up, and without the edge it could reach disk with a
+    // still stale, which is exactly the state swap redo refuses to repair.
+    bp->AddWriteOrder(a, b);
     {
       std::unique_lock<PageLatch> la(page_a->latch());
       WriteAllCells(page_a, cells_b);
@@ -392,9 +403,6 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
     }
     bp->UnpinPage(a, true);
     bp->UnpinPage(b, true);
-    // Careful-writing order (§6.1): b (which now holds a's old image) must
-    // not reach disk before a is durable.
-    bp->AddWriteOrder(a, b);
     ctx_->stats->records_moved += cells_a.size() + cells_b.size();
     return Status::OK();
   };
@@ -414,6 +422,7 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
   if (!up.ok()) {
     // Undo-at-deadlock: a swap is self-inverse.
     do_swap();
+    BufferPool::ApplyScope apply_scope(bp);
     LogRecord end;
     end.type = LogType::kReorgEnd;
     end.txn_id = id;
@@ -467,6 +476,7 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
       }
     }
     int slot_a, slot_b;
+    BufferPool::ApplyScope apply_scope(bp);
     {
       std::unique_lock<PageLatch> la(pg_a->latch());
       std::unique_lock<PageLatch> lb_maybe(
@@ -491,6 +501,7 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
     auto set_links = [&](PageId pid, PageId prev, PageId next) {
       Page* pg;
       if (!bp->FetchPage(pid, &pg).ok()) return;
+      BufferPool::ApplyScope apply_scope(bp);
       LogRecord link;
       link.type = LogType::kLinkPage;
       link.txn_id = id;
@@ -546,6 +557,7 @@ Status SwapPass::SwapUnitOnce(uint32_t unit, PageId a, PageId b, bool resume) {
   }
 
   // --- END ------------------------------------------------------------------------------
+  BufferPool::ApplyScope end_scope(bp);
   LogRecord end;
   end.type = LogType::kReorgEnd;
   end.txn_id = id;

@@ -123,6 +123,9 @@ Status TreeBuilder::StablePoint() {
   Status s = ctx_->bp->ForcePages(force);
   if (!s.ok()) return s;
 
+  // Apply scope: the stable-key record and the table's pass-3 state must
+  // land on the same side of a concurrent checkpoint's redo floor.
+  BufferPool::ApplyScope apply_scope(ctx_->bp);
   LogRecord rec;
   rec.type = LogType::kStableKey;
   rec.txn_id = kReorgTxnId;
@@ -203,6 +206,28 @@ Status TreeBuilder::Run(const Slice& resume_key, PageId resume_top) {
   return DrainSideFile();
 }
 
+Status TreeBuilder::ApplyEntry(const SideEntry& entry) {
+  if (entry.seq != 0 && entry.seq <= applied_seq_hwm_) {
+    // Already applied in an earlier catch-up round; re-application after a
+    // step-aside re-drain (§7.4) must be a no-op.
+    ++ctx_->stats->side_duplicates_skipped;
+    return Status::OK();
+  }
+  bool already_applied = false;
+  Status s = new_tree_->BaseApply(&reorg_txn_, entry.op, entry.key,
+                                  entry.leaf, &already_applied);
+  if (s.IsNotFound()) {
+    // Deleting an absent separator: the change is already in effect.
+    s = Status::OK();
+    already_applied = true;
+  }
+  if (!s.ok()) return s;
+  if (entry.seq > applied_seq_hwm_) applied_seq_hwm_ = entry.seq;
+  if (already_applied) ++ctx_->stats->side_reapplied_noops;
+  ++ctx_->stats->side_entries_applied;
+  return Status::OK();
+}
+
 Status TreeBuilder::DrainSideFile() {
   int deadlock_retries = 0;
   while (true) {
@@ -221,9 +246,8 @@ Status TreeBuilder::DrainSideFile() {
     // under sustained updater churn cannot accumulate scattered retries
     // into a spurious hard failure.
     deadlock_retries = 0;
-    s = new_tree_->BaseApply(&reorg_txn_, entry.op, entry.key, entry.leaf);
-    if (!s.ok() && !s.IsNotFound()) return s;
-    ++ctx_->stats->side_entries_applied;
+    s = ApplyEntry(entry);
+    if (!s.ok()) return s;
   }
 }
 

@@ -61,8 +61,22 @@ class TreeBuilder {
   BTree* new_tree() { return new_tree_.get(); }
 
   /// Drain side-file entries into the new tree; used by Run and again by
-  /// the Switcher for the final catch-up under the side-file X lock.
+  /// the Switcher for the final catch-up under the side-file X lock — and,
+  /// under the step-aside protocol (§7.4), once more per step-aside round
+  /// for the delta recorded while the X lock was released.
   Status DrainSideFile();
+
+  /// Apply one side entry to the new tree, idempotently. Entries carry
+  /// monotonic seq tags and the drain pops them in seq order, so a seq at
+  /// or below the applied high-water mark is a duplicate from an earlier
+  /// round and is skipped outright; a fresh entry whose base change turns
+  /// out to be already present (the recording updater also applied it
+  /// directly after a Busy redirect) is verified as a no-op. Exposed for
+  /// the drain-idempotency property test.
+  Status ApplyEntry(const SideEntry& entry);
+
+  /// Highest SideEntry::seq already applied to the new tree.
+  uint64_t applied_seq_hwm() const { return applied_seq_hwm_; }
 
  private:
   Status StablePoint();
@@ -78,6 +92,7 @@ class TreeBuilder {
   bool all_read_ = false;
 
   std::unique_ptr<BTree> new_tree_;
+  uint64_t applied_seq_hwm_ = 0;  // only the drain thread writes it
   Transaction reorg_txn_{kReorgTxnId};
   int pages_since_stable_ = 0;
   PageId next_base_ = kInvalidPageId;  // set by ReadBasePage

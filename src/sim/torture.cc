@@ -29,6 +29,30 @@ Status TortureHarness::BuildWorkload(FaultInjectionEnv* env,
   return (*db)->Checkpoint();
 }
 
+void TortureHarness::ArmStepAside(Database* db) {
+  if (options_.force_step_asides <= 0 || model_.empty()) return;
+  SwitcherOptions* sw = &db->reorganizer()->options()->switcher;
+  sw->force_step_asides = options_.force_step_asides;
+  sw->step_aside_wait_ms = 10;  // the callback records immediately
+  // Mid-window transaction: delete + re-insert one model key with its model
+  // value. Commit restores the exact model state; a crash mid-transaction
+  // rolls the loser back to it — so verification holds at every crash
+  // point. The statuses are deliberately dropped: once the armed fault
+  // fires every operation (including Abort) fails with kCrashed.
+  const auto& kv = model_[model_.size() / 2];
+  sw->on_step_aside = [db, kv]() {
+    Transaction* txn = db->Begin();
+    if (txn == nullptr) return;
+    Status s = db->tree()->Delete(txn, kv.first);
+    if (s.ok()) s = db->tree()->Insert(txn, kv.first, kv.second);
+    if (s.ok()) {
+      db->Commit(txn);
+    } else {
+      db->Abort(txn);
+    }
+  };
+}
+
 Status TortureHarness::VerifyAgainstModel(Database* db, const char* where) {
   std::vector<std::pair<std::string, std::string>> got;
   Status s = db->Scan(Slice(), Slice(),
@@ -93,6 +117,7 @@ Status TortureHarness::Run(TortureStats* stats) {
                    return true;
                  });
     if (!s.ok()) return s;
+    ArmStepAside(db.get());
     env.ObserveOnly(suffix, op);
     s = db->Reorganize();
     if (!s.ok()) return s;
@@ -115,6 +140,7 @@ Status TortureHarness::Run(TortureStats* stats) {
     std::unique_ptr<Database> db;
     Status s = BuildWorkload(&env, &db);
     if (!s.ok()) return s;
+    ArmStepAside(db.get());
 
     switch (options_.mode) {
       case TortureMode::kCleanCrash:
@@ -148,6 +174,7 @@ Status TortureHarness::Run(TortureStats* stats) {
 
     s = VerifyAgainstModel(recovered.get(), "after recovery");
     if (s.ok() && options_.complete_after) {
+      ArmStepAside(recovered.get());
       if (recovered->pass3_pending()) s = recovered->ResumeInternalPass();
       if (s.ok()) s = recovered->Reorganize();
       if (s.ok()) s = VerifyAgainstModel(recovered.get(), "after completion");

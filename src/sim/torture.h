@@ -65,6 +65,12 @@ struct TortureOptions {
   // again — proves the recovered state is not just readable but resumable.
   bool complete_after = false;
 
+  // Force the switcher through N step-aside rounds (§7.4 fix) on every
+  // Reorganize(), with a mid-window transaction that deletes and re-inserts
+  // a model key. Drives crash points into the release-reacquire window the
+  // step-aside protocol opens; 0 leaves the switcher alone.
+  int force_step_asides = 0;
+
   DatabaseOptions db;
 };
 
@@ -88,6 +94,9 @@ class TortureHarness {
  private:
   Status BuildWorkload(FaultInjectionEnv* env,
                        std::unique_ptr<Database>* db);
+  /// Apply options_.force_step_asides to the live reorganizer, installing
+  /// the mid-window model-key rewrite transaction. Needs model_ populated.
+  void ArmStepAside(Database* db);
   Status VerifyAgainstModel(Database* db, const char* where);
   void RecordFailure(TortureStats* stats, int point, const std::string& what);
 

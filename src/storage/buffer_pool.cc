@@ -508,6 +508,22 @@ Status BufferPool::ForcePages(const std::vector<PageId>& page_ids) {
   }
 }
 
+void BufferPool::BeginApply() {
+  std::lock_guard<std::mutex> g(apply_mu_);
+  ++active_appliers_;
+}
+
+void BufferPool::EndApply() {
+  std::lock_guard<std::mutex> g(apply_mu_);
+  if (--active_appliers_ == 0) apply_cv_.notify_all();
+}
+
+Lsn BufferPool::CaptureAtQuiescence(const std::function<Lsn()>& capture) {
+  std::unique_lock<std::mutex> l(apply_mu_);
+  apply_cv_.wait(l, [&] { return active_appliers_ == 0; });
+  return capture();
+}
+
 void BufferPool::AddWriteOrder(PageId first, PageId then) {
   std::lock_guard<std::mutex> fg(flush_mu_);
   must_precede_[then].insert(first);

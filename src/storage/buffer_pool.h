@@ -44,6 +44,7 @@
 #define SOREORG_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <list>
 #include <map>
@@ -114,6 +115,34 @@ class BufferPool {
   /// plus changed ancestors at a stable point).
   Status ForcePages(const std::vector<PageId>& page_ids);
 
+  // --- checkpoint apply barrier --------------------------------------------
+  // The checkpoint's redo floor (CheckpointImage::redo_lsn) is only sound if
+  // no log record below it has page effects that the checkpoint's flush walk
+  // could miss. Mutators therefore bracket each (WAL append → page-byte
+  // apply → dirty unpin) cluster in an ApplyScope; CaptureAtQuiescence runs
+  // `capture` at an instant when no scope is active, so every record below
+  // the captured floor is fully in the pool — bytes applied, page marked
+  // dirty — before the walk starts, and every record at or above it is
+  // replayed by recovery. Entering a scope never blocks (it is a counter
+  // increment under a leaf mutex), so scopes may nest and may be held
+  // across page latches and buffer-pool calls. Do NOT hold one across a
+  // lock-manager wait: a scope is a promise of prompt completion, and the
+  // checkpoint stalls for as long as scopes keep overlapping.
+  void BeginApply();
+  void EndApply();
+  Lsn CaptureAtQuiescence(const std::function<Lsn()>& capture);
+
+  class ApplyScope {
+   public:
+    explicit ApplyScope(BufferPool* bp) : bp_(bp) { bp_->BeginApply(); }
+    ApplyScope(const ApplyScope&) = delete;
+    ApplyScope& operator=(const ApplyScope&) = delete;
+    ~ApplyScope() { bp_->EndApply(); }
+
+   private:
+    BufferPool* bp_;
+  };
+
   // --- careful writing -----------------------------------------------------
   void AddWriteOrder(PageId first, PageId then);
   /// Like DeletePage, but the disk page is only returned to the free list
@@ -181,6 +210,13 @@ class BufferPool {
   std::vector<Shard> shards_;  // size is a power of two; never resized
   size_t shard_mask_;
   size_t total_frames_;
+
+  // Checkpoint apply barrier. apply_mu_ is a leaf lock: nothing else is
+  // acquired while it is held (CaptureAtQuiescence's callback reads the
+  // log's next LSN, which takes only the log mutex).
+  mutable std::mutex apply_mu_;
+  std::condition_variable apply_cv_;
+  int active_appliers_ = 0;
 
   // Careful-writing / flush-ordering state. Guarded by flush_mu_.
   mutable std::mutex flush_mu_;

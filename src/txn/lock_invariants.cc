@@ -57,8 +57,34 @@ void LockInvariantChecker::Report(const char* invariant, std::string detail) {
   std::abort();
 }
 
+void LockInvariantChecker::NoteSwitchEnter(uint64_t old_incarnation) {
+  switch_old_inc_.store(old_incarnation);
+  switch_window_.store(true);
+}
+
+void LockInvariantChecker::NoteSwitchExit() { switch_window_.store(false); }
+
 void LockInvariantChecker::CheckHolders(
     const LockName& name, const std::map<TxnId, LockMode>& holders) {
+  // Invariant (f) bookkeeping: track whether the reorganizer currently holds
+  // the side-file X lock, and — inside a switch window — flag any old-tree X
+  // grant taken without it.
+  if (name.space == LockSpace::kSideFile) {
+    auto side = holders.find(kReorgTxnId);
+    reorg_holds_side_x_.store(side != holders.end() &&
+                              side->second == LockMode::kX);
+  }
+  if (switch_window_.load() && name.space == LockSpace::kTree &&
+      name.id == switch_old_inc_.load()) {
+    auto tree = holders.find(kReorgTxnId);
+    if (tree != holders.end() && tree->second == LockMode::kX &&
+        !reorg_holds_side_x_.load()) {
+      Report("switch-window",
+             "reorganizer granted X on " + NameString(name) +
+                 " inside the switch window without holding the side-file X "
+                 "lock; a drain could race a recording updater");
+    }
+  }
   for (auto it = holders.begin(); it != holders.end(); ++it) {
     const auto& [txn, mode] = *it;
     if (mode == LockMode::kRS) {

@@ -14,7 +14,14 @@
 //       is chosen, every one of its pending waits is marked killed, so no
 //       cycle can still route through it;
 //   (e) when the reorganizer sits anywhere in a detected cycle, it — and
-//       only it — is chosen as the victim (§4.1 "the reorganizer loses").
+//       only it — is chosen as the victim (§4.1 "the reorganizer loses");
+//   (f) inside a switch window (§7.4, bracketed by NoteSwitchEnter /
+//       NoteSwitchExit), the reorganizer holds X on the *old* tree lock only
+//       while it also holds the side-file X lock. The step-aside protocol
+//       deliberately releases and re-acquires the side-file X lock mid-switch
+//       — but only while it does NOT hold the old tree lock, so a drain can
+//       never run concurrently with a recording updater. An old-tree X grant
+//       without the side-file X is exactly that race.
 //
 // The checker is wired into LockManager behind a single pointer test: debug
 // and sanitizer builds (!NDEBUG or SOREORG_LOCK_INVARIANTS) install one by
@@ -29,6 +36,7 @@
 #ifndef SOREORG_TXN_LOCK_INVARIANTS_H_
 #define SOREORG_TXN_LOCK_INVARIANTS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -46,7 +54,7 @@ struct LockName;
 struct LockViolation {
   /// Stable identifier of the broken invariant: "table1-compatibility",
   /// "rs-granted", "rx-ownership", "rx-name-space", "rx-not-leaf",
-  /// "victim-policy", "surviving-cycle".
+  /// "victim-policy", "surviving-cycle", "switch-window".
   std::string invariant;
   std::string detail;
 };
@@ -68,6 +76,16 @@ class LockInvariantChecker {
   uint64_t violations() const { return violations_; }
   const std::vector<LockViolation>& recorded() const { return recorded_; }
   void Reset();
+
+  /// Invariant (f) bracketing. The Switcher calls NoteSwitchEnter with the
+  /// old tree's incarnation after flipping the root and NoteSwitchExit just
+  /// before it gives up the side-file X lock for the last time. Outside the
+  /// window an old-tree X grant is unremarkable (pass-1/2 unit tests take
+  /// tree locks freely), so the check is window-gated. Both are safe to call
+  /// with no manager mutex held; the tracked state is atomic because
+  /// CheckHolders fires from whichever stripe mutex owns the touched name.
+  void NoteSwitchEnter(uint64_t old_incarnation);
+  void NoteSwitchExit();
 
   // --- hooks called by LockManager (mu_ held) ------------------------------
 
@@ -92,6 +110,13 @@ class LockInvariantChecker {
   std::function<bool(uint64_t)> leaf_pred_;
   uint64_t violations_ = 0;
   std::vector<LockViolation> recorded_;
+
+  // Invariant (f) state. switch_window_/switch_old_inc_ are written only by
+  // the switcher thread via the Note* brackets; reorg_holds_side_x_ is
+  // derived by CheckHolders every time the side-file queue changes.
+  std::atomic<bool> switch_window_{false};
+  std::atomic<uint64_t> switch_old_inc_{0};
+  std::atomic<bool> reorg_holds_side_x_{false};
 };
 
 }  // namespace soreorg

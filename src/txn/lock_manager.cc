@@ -535,6 +535,10 @@ Status LockManager::Unlock(TxnId txn, const LockName& name) {
       return Status::NotFound("lock not held");
     }
     ForgetHeld(txn, name);
+    // Defensive revalidation on release: also keeps the invariant checker's
+    // derived side-file state (invariant (f)) current when the switcher's
+    // step-aside releases its X lock.
+    LockedCheckHolders(name, qit->second);
     LockedWakeWaiters(qit->second);
     LockedMaybeEraseQueue(stripe, qit);
   }
@@ -576,6 +580,7 @@ void LockManager::ReleaseAll(TxnId txn) {
     auto qit = stripe.queues.find(name);
     if (qit == stripe.queues.end()) continue;
     qit->second.holders.erase(txn);
+    LockedCheckHolders(name, qit->second);
     LockedWakeWaiters(qit->second);
     LockedMaybeEraseQueue(stripe, qit);
   }

@@ -202,6 +202,12 @@ class LockManager {
   /// Install before concurrent use.
   void SetInvariantChecker(LockInvariantChecker* checker);
 
+  /// The checker currently receiving lock events: the one installed via
+  /// SetInvariantChecker, the build default, or nullptr (release builds).
+  /// The Switcher uses it to bracket the §7.4 switch window so invariant (f)
+  /// knows when a release-reacquire of the side-file X lock is legal.
+  LockInvariantChecker* invariant_checker() const { return checker_; }
+
   /// Re-validate every queue against the Table-1 invariants now (test use).
   void CheckInvariantsNow();
 

@@ -1,9 +1,14 @@
 #include "src/txn/txn_manager.h"
 
+#include <optional>
+
+#include "src/storage/buffer_pool.h"
+
 namespace soreorg {
 
-TransactionManager::TransactionManager(LogManager* log, LockManager* locks)
-    : log_(log), locks_(locks) {}
+TransactionManager::TransactionManager(LogManager* log, LockManager* locks,
+                                       BufferPool* bp)
+    : log_(log), locks_(locks), bp_(bp) {}
 
 void TransactionManager::set_undo_applier(UndoApplier applier) {
   undo_applier_ = std::move(applier);
@@ -19,12 +24,24 @@ Transaction* TransactionManager::Begin() {
 }
 
 Status TransactionManager::Commit(Transaction* txn) {
+  // Apply scope (when wired): outcome record and active-table removal on
+  // the same side of a concurrent checkpoint's redo floor.
+  std::optional<BufferPool::ApplyScope> apply_scope;
+  if (bp_ != nullptr) apply_scope.emplace(bp_);
   LogRecord rec;
   rec.type = LogType::kCommit;
   rec.txn_id = txn->id();
   rec.prev_lsn = txn->last_lsn();
   Status s = log_->AppendAndFlush(&rec);
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    // The commit record never reached the log, so recovery will roll this
+    // transaction back — but the lock table is process-local state and must
+    // not keep the dead transaction's locks alive, or every later request
+    // for them waits on a holder that will never release (no cycle, so the
+    // deadlock detector never intervenes).
+    Discard(txn, TxnState::kAborted);
+    return s;
+  }
   txn->set_state(TxnState::kCommitted);
   locks_->ReleaseAll(txn->id());
   ++commits_;
@@ -42,7 +59,10 @@ Status TransactionManager::Abort(Transaction* txn) {
       // The record may still be in the WAL buffer: flush and retry once.
       log_->Flush();
       s = log_->ReadAt(cur, &rec);
-      if (!s.ok()) return s;
+      if (!s.ok()) {
+        Discard(txn, TxnState::kAborted);
+        return s;
+      }
     }
     if (rec.type == LogType::kClr) {
       cur = rec.lsn2;  // undo-next pointer skips already-undone work
@@ -53,21 +73,39 @@ Status TransactionManager::Abort(Transaction* txn) {
          rec.type == LogType::kUpdate || rec.type == LogType::kSideInsert ||
          rec.type == LogType::kSideCancel)) {
       s = undo_applier_(rec, txn);
-      if (!s.ok()) return s;
+      if (!s.ok()) {
+        Discard(txn, TxnState::kAborted);
+        return s;
+      }
     }
     cur = rec.prev_lsn;
   }
+  std::optional<BufferPool::ApplyScope> apply_scope;
+  if (bp_ != nullptr) apply_scope.emplace(bp_);
   LogRecord rec;
   rec.type = LogType::kAbort;
   rec.txn_id = txn->id();
   rec.prev_lsn = txn->last_lsn();
   Status s = log_->AppendAndFlush(&rec);
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    Discard(txn, TxnState::kAborted);
+    return s;
+  }
   txn->set_state(TxnState::kAborted);
   locks_->ReleaseAll(txn->id());
   ++aborts_;
   Forget(txn);
   return Status::OK();
+}
+
+void TransactionManager::Discard(Transaction* txn, TxnState state) {
+  // Failure cleanup: the WAL could not record the outcome (or undo could not
+  // run), so recovery owns the durable state — but the in-memory lock table
+  // and active set must still drop the transaction, or its locks outlive it
+  // for the rest of the process with no waiter ever able to acquire them.
+  txn->set_state(state);
+  locks_->ReleaseAll(txn->id());
+  Forget(txn);
 }
 
 void TransactionManager::Forget(Transaction* txn) {

@@ -22,13 +22,21 @@
 
 namespace soreorg {
 
+class BufferPool;
+
 class TransactionManager {
  public:
   /// Apply the inverse of `rec` and log a CLR for `txn`.
   using UndoApplier =
       std::function<Status(const LogRecord& rec, Transaction* txn)>;
 
-  TransactionManager(LogManager* log, LockManager* locks);
+  /// `bp` (optional) enables the checkpoint apply barrier: the COMMIT/ABORT
+  /// record and the transaction's removal from the active table then land
+  /// on the same side of a concurrent checkpoint's redo floor, so the
+  /// checkpoint image can never show a transaction as active whose outcome
+  /// record sits below the floor (recovery would wrongly undo it).
+  TransactionManager(LogManager* log, LockManager* locks,
+                     BufferPool* bp = nullptr);
 
   void set_undo_applier(UndoApplier applier);
 
@@ -58,8 +66,14 @@ class TransactionManager {
   uint64_t aborts() const { return aborts_; }
 
  private:
+  /// Failure cleanup for Commit/Abort paths that cannot reach the WAL: the
+  /// durable outcome is recovery's problem, but the in-memory locks and the
+  /// active-table entry must not outlive the transaction.
+  void Discard(Transaction* txn, TxnState state);
+
   LogManager* log_;
   LockManager* locks_;
+  BufferPool* bp_ = nullptr;
   UndoApplier undo_applier_;
 
   mutable std::mutex mu_;

@@ -7,6 +7,7 @@ namespace soreorg {
 
 std::string CheckpointImage::Serialize() const {
   std::string out;
+  PutVarint64(&out, redo_lsn);
   PutLengthPrefixedSlice(&out, disk_meta);
   PutVarint32(&out, static_cast<uint32_t>(active_txns.size()));
   for (const auto& [txn, lsn] : active_txns) {
@@ -33,6 +34,9 @@ std::string CheckpointImage::Serialize() const {
 Status CheckpointImage::Parse(const Slice& input, CheckpointImage* img) {
   Slice in = input;
   auto fail = [] { return Status::Corruption("bad checkpoint image"); };
+  uint64_t redo;
+  if (!GetVarint64(&in, &redo)) return fail();
+  img->redo_lsn = redo;
   Slice s;
   if (!GetLengthPrefixedSlice(&in, &s)) return fail();
   img->disk_meta = s.ToString();

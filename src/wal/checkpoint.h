@@ -2,9 +2,15 @@
 //
 // A checkpoint is a kCheckpoint WAL record whose payload is a
 // CheckpointImage; its LSN is recorded in a small master file so recovery
-// can find the most recent one without scanning the whole log. The buffer
-// pool is flushed+synced immediately before the record is written, so redo
-// starts at the checkpoint LSN.
+// can find the most recent one without scanning the whole log. The image
+// carries a redo_lsn captured BEFORE the buffer pool's flush walk begins:
+// the walk is fuzzy (updaters and the reorganizer keep logging while it
+// runs in several flush-lock holds), so an update logged during the walk
+// may be only partially durable when the checkpoint record is written.
+// Redo therefore starts at redo_lsn, not at the checkpoint record — every
+// record the walk could have half-captured is replayed, idempotently
+// (page redo is pageLSN-guarded, allocation redo is set-idempotent, and
+// side-file redo is skipped up to the watermark the side image carries).
 //
 // The image carries the paper's §5 in-memory reorganization table: LK (the
 // largest key of the last finished reorganization unit), and — if a unit is
@@ -42,6 +48,10 @@ struct ReorgTableSnapshot {
 
 struct CheckpointImage {
   Lsn checkpoint_lsn = kInvalidLsn;  // filled on read
+  /// Redo starting point: the log position captured before the checkpoint's
+  /// buffer-pool flush walk started. Everything at or after this LSN is
+  /// replayed; everything before it is fully durable in the flushed pages.
+  Lsn redo_lsn = kInvalidLsn;
   std::string disk_meta;             // DiskManager::SerializeMeta()
   std::vector<std::pair<TxnId, Lsn>> active_txns;  // (txn, last lsn)
   TxnId next_txn_id = kFirstUserTxnId;

@@ -84,6 +84,56 @@ TEST_F(LockInvariantsTest, CorrectVictimChoicesAreClean) {
   EXPECT_EQ(checker_.violations(), 0u);
 }
 
+// --- invariant (f): the §7.4 switch window -------------------------------
+
+TEST_F(LockInvariantsTest, SwitchWindowOldTreeXWithoutSideXIsCaught) {
+  checker_.NoteSwitchEnter(7);
+  lm_.ForceGrantForTest(kReorgTxnId, TreeLock(7), LockMode::kX);
+  EXPECT_TRUE(Caught("switch-window"));
+}
+
+TEST_F(LockInvariantsTest, SwitchWindowOldTreeXWithSideXIsClean) {
+  lm_.ForceGrantForTest(kReorgTxnId, SideFileLock(), LockMode::kX);
+  checker_.NoteSwitchEnter(7);
+  lm_.ForceGrantForTest(kReorgTxnId, TreeLock(7), LockMode::kX);
+  EXPECT_EQ(checker_.violations(), 0u);
+}
+
+TEST_F(LockInvariantsTest, SwitchWindowIgnoresOtherIncarnationsAndTxns) {
+  checker_.NoteSwitchEnter(7);
+  // The *new* tree's lock name is not the old tree's.
+  lm_.ForceGrantForTest(kReorgTxnId, TreeLock(8), LockMode::kX);
+  // User transactions on the old name are the detector's business, not (f)'s.
+  lm_.ForceGrantForTest(kT1, TreeLock(7), LockMode::kIX);
+  EXPECT_EQ(checker_.violations(), 0u);
+}
+
+TEST_F(LockInvariantsTest, OldTreeXOutsideSwitchWindowIsClean) {
+  // Pass-1/2 paths and unit tests take tree locks freely; the check is
+  // window-gated.
+  lm_.ForceGrantForTest(kReorgTxnId, TreeLock(7), LockMode::kX);
+  EXPECT_EQ(checker_.violations(), 0u);
+  checker_.NoteSwitchEnter(7);
+  checker_.NoteSwitchExit();
+  lm_.ForceGrantForTest(kReorgTxnId, TreeLock(7), LockMode::kX);
+  EXPECT_EQ(checker_.violations(), 0u);
+}
+
+TEST_F(LockInvariantsTest, StepAsideBareReacquireOfOldTreeXIsCaught) {
+  // The legal step-aside shape: enter holding side X, win the old-tree X,
+  // then release everything for the window...
+  lm_.ForceGrantForTest(kReorgTxnId, SideFileLock(), LockMode::kX);
+  checker_.NoteSwitchEnter(7);
+  lm_.ForceGrantForTest(kReorgTxnId, TreeLock(7), LockMode::kX);
+  EXPECT_EQ(checker_.violations(), 0u);
+  lm_.ReleaseAll(kReorgTxnId);
+  EXPECT_EQ(checker_.violations(), 0u);
+  // ...but re-winning the old-tree X without first re-acquiring the side X
+  // is exactly the drain-vs-recorder race (f) exists to catch.
+  lm_.ForceGrantForTest(kReorgTxnId, TreeLock(7), LockMode::kX);
+  EXPECT_TRUE(Caught("switch-window"));
+}
+
 TEST_F(LockInvariantsTest, ResetClearsState) {
   lm_.ForceGrantForTest(kT1, PageLock(2), LockMode::kRS);
   ASSERT_GE(checker_.violations(), 1u);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/storage/env.h"
+#include "src/storage/fault_env.h"
 #include "src/txn/txn_manager.h"
 
 namespace soreorg {
@@ -150,6 +151,44 @@ TEST_F(TxnTest, AbortSkipsClrChains) {
   ASSERT_TRUE(mgr_->Abort(txn).ok());
   ASSERT_EQ(undone.size(), 1u);  // only "a" — the CLR skipped "b"
   EXPECT_EQ(undone[0], "a");
+}
+
+// A transaction whose COMMIT (or ABORT) record cannot reach the WAL — the
+// torture harness's simulated crash — must still vacate the lock table and
+// the active set. Leaked locks from such a zombie have no waits-for cycle,
+// so the deadlock detector never frees them and the next request for the
+// same lock waits forever (this hung the step-aside crash-torture sweep).
+TEST(TxnFaultTest, FailedCommitAndAbortStillReleaseLocks) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  LogManager log(&env, "wal");
+  ASSERT_TRUE(log.Open().ok());
+  LockManager locks;
+  TransactionManager mgr(&log, &locks);
+
+  Transaction* txn = mgr.Begin();
+  TxnId id = txn->id();
+  ASSERT_TRUE(locks.Lock(id, PageLock(1), LockMode::kX).ok());
+  env.FailOpAfter(1, "", "");  // next WAL touch crashes, sticky
+  ASSERT_FALSE(mgr.Commit(txn).ok());
+  EXPECT_EQ(locks.HeldCount(id), 0u);
+  EXPECT_TRUE(mgr.ActiveSnapshot().empty());
+
+  env.Disarm();
+  Transaction* txn2 = mgr.Begin();
+  TxnId id2 = txn2->id();
+  ASSERT_TRUE(locks.Lock(id2, PageLock(1), LockMode::kX).ok());
+  env.FailOpAfter(1, "", "");
+  ASSERT_FALSE(mgr.Abort(txn2).ok());
+  EXPECT_EQ(locks.HeldCount(id2), 0u);
+  EXPECT_TRUE(mgr.ActiveSnapshot().empty());
+
+  env.Disarm();
+  Transaction* txn3 = mgr.Begin();
+  TxnId id3 = txn3->id();
+  EXPECT_TRUE(locks.Lock(id3, PageLock(1), LockMode::kX).ok());  // reacquirable
+  mgr.Forget(txn3);  // destroys txn3
+  locks.ReleaseAll(id3);
 }
 
 TEST_F(TxnTest, ActiveSnapshotTracksLiveTransactions) {
