@@ -26,6 +26,9 @@ struct RunResult {
   double reorg_secs = 0;
   double ops_per_sec = 0;
   uint64_t max_latency_us = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  uint64_t p999_us = 0;
   uint64_t failures = 0;
 };
 
@@ -75,6 +78,9 @@ RunResult RunUnder(const std::function<Status(Database*)>& reorganize) {
   r.reorg_secs = reorg_secs;
   r.ops_per_sec = static_cast<double>(ops_during) / reorg_secs;
   r.max_latency_us = st.max_latency_ns / 1000;
+  r.p50_us = st.p50_ns / 1000;
+  r.p99_us = st.p99_ns / 1000;
+  r.p999_us = st.p999_ns / 1000;
   r.failures = st.failures;
   return r;
 }
@@ -106,12 +112,15 @@ int main(int argc, char** argv) {
     return smith.Run();
   });
 
-  std::printf("%-14s %10s %14s %12s %14s %9s\n", "method", "reorg s",
-              "user ops/s", "vs baseline", "max lat (us)", "failures");
+  std::printf("%-14s %10s %14s %12s %9s %9s %9s %11s %9s\n", "method",
+              "reorg s", "user ops/s", "vs baseline", "p50 us", "p99 us",
+              "p999 us", "max (us)", "failures");
   auto row = [&](const char* name, const RunResult& r) {
-    std::printf("%-14s %10.2f %14.0f %11.0f%% %14llu %9llu\n", name,
-                r.reorg_secs, r.ops_per_sec,
+    std::printf("%-14s %10.2f %14.0f %11.0f%% %9llu %9llu %9llu %11llu %9llu\n",
+                name, r.reorg_secs, r.ops_per_sec,
                 100.0 * r.ops_per_sec / base.ops_per_sec,
+                (unsigned long long)r.p50_us, (unsigned long long)r.p99_us,
+                (unsigned long long)r.p999_us,
                 (unsigned long long)r.max_latency_us,
                 (unsigned long long)r.failures);
   };
@@ -125,6 +134,9 @@ int main(int argc, char** argv) {
     json.Add(prefix + "/reorg_secs", r.reorg_secs, "s", 4);
     json.Add(prefix + "/max_latency_us", static_cast<double>(r.max_latency_us),
              "us", 4);
+    json.Add(prefix + "/p50_us", static_cast<double>(r.p50_us), "us", 4);
+    json.Add(prefix + "/p99_us", static_cast<double>(r.p99_us), "us", 4);
+    json.Add(prefix + "/p999_us", static_cast<double>(r.p999_us), "us", 4);
     json.Add(prefix + "/failures", static_cast<double>(r.failures), "count", 4);
   };
   emit("baseline", base);

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Gate the latch-free read path against the committed baseline.
+
+Usage: check_read_path_regression.py <fresh.json> <committed.json>
+
+Raw Mops/s from a CI runner are not comparable to the machine that recorded
+the committed BENCH_read_path.json, so the gate compares the one number that
+machine speed divides out of: hot_hit/speedup, the ratio of optimistic to
+S-lock throughput measured back-to-back in the same process. A real
+regression in the optimistic path (extra fallbacks, a reintroduced lock, a
+lost fast path) drags that ratio down wherever it runs. The run fails if the
+fresh ratio is below 90% of the committed one (the ">10% regression" gate),
+or if the fresh run reports a fallback on a purely resident workload.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.90
+
+
+def metric(doc, name):
+    for m in doc["metrics"]:
+        if m["name"] == name:
+            return float(m["value"])
+    raise SystemExit(f"metric {name!r} missing from {doc.get('bench')}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        committed = json.load(f)
+
+    fresh_ratio = metric(fresh, "hot_hit/speedup")
+    committed_ratio = metric(committed, "hot_hit/speedup")
+    fallbacks = metric(fresh, "hot_hit/fallbacks")
+
+    floor = committed_ratio * TOLERANCE
+    print(f"hot_hit/speedup: fresh={fresh_ratio:.3f} committed={committed_ratio:.3f} "
+          f"floor={floor:.3f} fallbacks={fallbacks:.0f}")
+
+    if fallbacks > 0:
+        raise SystemExit("FAIL: optimistic reads fell back on a resident "
+                         "read-only workload; the fast path is not engaging")
+    if fresh_ratio < floor:
+        raise SystemExit(f"FAIL: hot-hit speedup {fresh_ratio:.3f} regressed "
+                         f"more than 10% below committed {committed_ratio:.3f}")
+    print("read-path gate ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -1327,8 +1327,88 @@ Status BTree::FreeEmptyLeaf(Transaction* txn, const std::vector<PageId>& path) {
 // Reads
 // ---------------------------------------------------------------------------
 
+bool BTree::OptimisticDescend(const Slice& key, OptimisticDescent* out) {
+  uint64_t inc = incarnation_.load();
+  PageId cur = root_.load();
+  int cur_slot = 0;
+  int parent_slot = -1;
+  // Bounded well past any real height: a torn routing chain must not loop.
+  for (int depth = 0; depth < 20; ++depth) {
+    Page* frame = bp_->FindResident(cur);
+    if (frame == nullptr) return false;  // not resident: S-lock path faults it
+    OptimisticPageGuard& g = out->slots[cur_slot];
+    if (!g.Capture(frame, cur)) return false;
+    // Mark check BEFORE parent revalidation: a zero mark here means any
+    // S-incompatible page lock on `cur` — and therefore any structure
+    // modification that touched it — was fully released (parent updated,
+    // root_ stored) before this load, so a stale parent image cannot pass
+    // the revalidation below. A post-modification parent routes correctly.
+    if (locks_->PageSharedReadBlocked(cur)) return false;
+    if (parent_slot < 0) {
+      // Root level: a root split stores root_ before its X path locks
+      // release, so the mark check alone can miss it. Re-check the pointer.
+      if (root_.load() != cur) return false;
+    } else if (!out->slots[parent_slot].Revalidate()) {
+      return false;
+    }
+    Page* img = g.page();
+    if (img->type() == PageType::kLeaf) {
+      if (out->base_slot < 0) return false;  // routed here without a base?
+      out->leaf_slot = cur_slot;
+      out->leaf_pid = cur;
+      out->incarnation = inc;
+      // Step-aside switch staleness: under §7.4 the new tree can absorb
+      // base updates before the old tree drains, so a descent that started
+      // on the old root may reach a leaf whose keys moved. Same re-check
+      // the locked Get performs after its descent.
+      return incarnation_.load() == inc;
+    }
+    if (img->type() != PageType::kInternal) return false;  // recycled frame
+    InternalNode node(img);
+    if (node.Count() <= 0) return false;
+    int idx = node.FindChild(key);
+    PageId child = node.ChildAt(idx);
+    if (child == kInvalidPageId || child == cur) return false;
+    if (img->level() == 1) {
+      out->base_slot = cur_slot;
+      out->base_pid = cur;
+      out->leaf_separator = node.KeyAt(idx).ToString();
+    }
+    parent_slot = cur_slot;
+    cur_slot = 1 - cur_slot;
+    cur = child;
+  }
+  return false;
+}
+
+bool BTree::TryGetOptimistic(const Slice& key, std::string* value,
+                             bool* found) {
+  for (int attempt = 0; attempt < options_.optimistic_restarts; ++attempt) {
+    OptimisticDescent d;
+    if (!OptimisticDescend(key, &d)) continue;
+    LeafNode ln(d.leaf_image());
+    bool exact;
+    int pos = ln.LowerBound(key, &exact);
+    if (exact) *value = ln.ValueAt(pos).ToString();
+    *found = exact;
+    opt_gets_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  opt_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
 Status BTree::Get(Transaction* txn, const Slice& key, std::string* value) {
   bool ephemeral = (txn == nullptr);
+  if (ephemeral && options_.optimistic_reads) {
+    // Latch-free fast path for non-transactional reads. Transactional Gets
+    // keep the locked path: their page S locks are retained to commit for
+    // repeatable reads, which an unlocked image cannot provide.
+    bool found = false;
+    if (TryGetOptimistic(key, value, &found)) {
+      return found ? Status::OK() : Status::NotFound("key not found");
+    }
+  }
   TxnId id = ephemeral ? NewEphemeralId() : txn->id();
 
   uint64_t inc = incarnation_.load();

@@ -58,10 +58,27 @@ struct BTreeOptions {
   double split_fraction = 0.5;
   /// Max op-level retries after Backoff/Deadlock before giving up.
   int max_retries = 256;
+  /// Serve ephemeral point reads and iterator leaf batches latch-free when
+  /// possible: snapshot page images against the frame version stamp and
+  /// validate, consulting only the lock manager's page-mark counters. Any
+  /// validation failure falls back to the Table-1 S-lock protocol. With
+  /// this off every read takes exactly the locks it did before the
+  /// optimistic path existed.
+  bool optimistic_reads = true;
+  /// Full-descent restarts before an optimistic read gives up and falls
+  /// back to the S-lock path.
+  int optimistic_restarts = 4;
 };
 
 /// What kind of base-page change an updater performed (for the side file).
 enum class BaseUpdateOp : uint8_t { kInsert = 0, kDelete = 1 };
+
+/// Counters for the latch-free read path (relaxed; test/bench use).
+struct ReadPathStats {
+  uint64_t optimistic_gets = 0;     // point reads served without any lock
+  uint64_t optimistic_batches = 0;  // iterator leaf batches served likewise
+  uint64_t fallbacks = 0;           // reads that fell back to the S-lock path
+};
 
 /// Aggregate shape statistics (drives the before/after tables).
 struct BTreeStats {
@@ -185,6 +202,46 @@ class BTree {
   /// reorganizer's scouting descents).
   TxnId NewEphemeralId() { return ephemeral_next_.fetch_add(1); }
 
+  ReadPathStats read_path_stats() const {
+    ReadPathStats s;
+    s.optimistic_gets = opt_gets_.load(std::memory_order_relaxed);
+    s.optimistic_batches = opt_batches_.load(std::memory_order_relaxed);
+    s.fallbacks = opt_fallbacks_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Result of one latch-free descent attempt. Two guard slots alternate as
+  /// parent/child down the tree (a grandparent image is never needed again
+  /// once its child validated, so its slot can be recycled); on success one
+  /// slot holds the leaf image and the other its base page.
+  struct OptimisticDescent {
+    OptimisticPageGuard slots[2];
+    int leaf_slot = -1;
+    int base_slot = -1;
+    PageId leaf_pid = kInvalidPageId;
+    PageId base_pid = kInvalidPageId;
+    std::string leaf_separator;  // base entry key that routed to the leaf
+    uint64_t incarnation = 0;    // tree incarnation the descent ran under
+    Page* leaf_image() { return slots[leaf_slot].page(); }
+    Page* base_image() { return slots[base_slot].page(); }
+  };
+
+  /// One latch-free descent to the leaf covering `key`: no locks, no pins,
+  /// no shard mutex. Per node: capture an image against the frame version
+  /// stamp, consult the lock manager's page-mark counter (an S-incompatible
+  /// page lock anywhere on the node forces fallback), then revalidate the
+  /// parent image — in that order; see DESIGN.md §13 for why the order is
+  /// what makes cross-SMO routing safe. False on any validation failure
+  /// (caller restarts or falls back to the S-lock protocol). Public for the
+  /// iterator, tests, and benches; it takes no locks, so any thread may call
+  /// it at any time.
+  bool OptimisticDescend(const Slice& key, OptimisticDescent* out);
+
+  /// Bounded-restart optimistic point read. True when the read completed
+  /// latch-free (*found says whether the key exists); false directs the
+  /// caller to the Table-1 S-lock path.
+  bool TryGetOptimistic(const Slice& key, std::string* value, bool* found);
+
   // Exposed for recovery redo (applies physiological records to pages).
   static Status RedoApply(BufferPool* bp, const LogRecord& rec);
 
@@ -292,6 +349,10 @@ class BTree {
   std::atomic<uint64_t> incarnation_{1};
   std::atomic<bool> reorg_bit_{false};
   std::atomic<TxnId> ephemeral_next_{1ull << 62};
+
+  std::atomic<uint64_t> opt_gets_{0};
+  std::atomic<uint64_t> opt_batches_{0};
+  std::atomic<uint64_t> opt_fallbacks_{0};
 
   BaseUpdateHook base_update_hook_;
   BaseUpdateCancelHook base_update_cancel_hook_;

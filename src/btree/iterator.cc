@@ -24,6 +24,35 @@ Status BTreeIterator::Seek(const Slice& key) {
   return LoadBatch(key);
 }
 
+bool BTreeIterator::TryLoadBatchOptimistic(const Slice& probe,
+                                           std::string* upper, bool* has_upper,
+                                           std::string* base_last_sep) {
+  for (int attempt = 0; attempt < tree_->options().optimistic_restarts;
+       ++attempt) {
+    BTree::OptimisticDescent d;
+    if (!tree_->OptimisticDescend(probe, &d)) continue;
+    InternalNode base(d.base_image());
+    int slot = base.FindChildSlot(d.leaf_pid);
+    if (slot < 0) continue;  // descent raced a base change; retry
+    if (slot + 1 < base.Count()) {
+      *upper = base.KeyAt(slot + 1).ToString();
+      *has_upper = true;
+    } else {
+      *base_last_sep = base.KeyAt(base.Count() - 1).ToString();
+    }
+    LeafNode ln(d.leaf_image());
+    bool exact;
+    for (int i = ln.LowerBound(probe, &exact); i < ln.Count(); ++i) {
+      buf_.emplace_back(ln.KeyAt(i).ToString(), ln.ValueAt(i).ToString());
+    }
+    leaf_trail_.push_back(d.leaf_pid);
+    tree_->opt_batches_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  tree_->opt_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
 Status BTreeIterator::LoadBatch(const Slice& from_key) {
   buf_.clear();
   idx_ = 0;
@@ -32,65 +61,70 @@ Status BTreeIterator::LoadBatch(const Slice& from_key) {
   // Hop leaves until a non-empty batch or the end of the tree. Bounded by
   // the retry budget to stay robust against pathological concurrent churn.
   for (int hops = 0; hops < tree_->options().max_retries; ++hops) {
-    BTree::DescentResult r;
-    Status s = tree_->FindLeaf(locker_, probe, LockMode::kS,
-                               /*keep_base_lock=*/true, &r);
-    if (!s.ok()) return s;
-
-    LockManager* lm = tree_->lock_manager();
-    BufferPool* bp = tree_->buffer_pool();
-
-    // Learn this leaf's upper bound from the base page: the next separator
-    // in the base page, or the next base page's low mark.
     std::string upper;
     bool has_upper = false;
     std::string base_last_sep;
-    {
-      Page* base_page;
-      s = bp->FetchPage(r.base, &base_page);
-      if (!s.ok()) {
-        lm->Unlock(locker_, PageLock(r.base));
-        lm->Unlock(locker_, PageLock(r.leaf));
-        return s;
-      }
-      std::shared_lock<PageLatch> latch(base_page->latch());
-      InternalNode node(base_page);
-      int slot = node.FindChildSlot(r.leaf);
-      if (slot >= 0 && slot + 1 < node.Count()) {
-        upper = node.KeyAt(slot + 1).ToString();
-        has_upper = true;
-      } else {
-        base_last_sep = node.KeyAt(node.Count() - 1).ToString();
-      }
-      bp->UnpinPage(r.base, false);
-    }
-    lm->Unlock(locker_, PageLock(r.base));
 
-    // Copy qualifying records.
-    {
-      Page* leaf_page;
-      s = bp->FetchPage(r.leaf, &leaf_page);
-      if (!s.ok()) {
-        lm->Unlock(locker_, PageLock(r.leaf));
-        return s;
+    if (!tree_->options().optimistic_reads ||
+        !TryLoadBatchOptimistic(probe, &upper, &has_upper, &base_last_sep)) {
+      // S-lock body: the pre-optimistic protocol, verbatim.
+      BTree::DescentResult r;
+      Status s = tree_->FindLeaf(locker_, probe, LockMode::kS,
+                                 /*keep_base_lock=*/true, &r);
+      if (!s.ok()) return s;
+
+      LockManager* lm = tree_->lock_manager();
+      BufferPool* bp = tree_->buffer_pool();
+
+      // Learn this leaf's upper bound from the base page: the next
+      // separator in the base page, or the next base page's low mark.
+      {
+        Page* base_page;
+        s = bp->FetchPage(r.base, &base_page);
+        if (!s.ok()) {
+          lm->Unlock(locker_, PageLock(r.base));
+          lm->Unlock(locker_, PageLock(r.leaf));
+          return s;
+        }
+        std::shared_lock<PageLatch> latch(base_page->latch());
+        InternalNode node(base_page);
+        int slot = node.FindChildSlot(r.leaf);
+        if (slot >= 0 && slot + 1 < node.Count()) {
+          upper = node.KeyAt(slot + 1).ToString();
+          has_upper = true;
+        } else {
+          base_last_sep = node.KeyAt(node.Count() - 1).ToString();
+        }
+        bp->UnpinPage(r.base, false);
       }
-      std::shared_lock<PageLatch> latch(leaf_page->latch());
-      LeafNode ln(leaf_page);
-      bool exact;
-      for (int i = ln.LowerBound(probe, &exact); i < ln.Count(); ++i) {
-        buf_.emplace_back(ln.KeyAt(i).ToString(), ln.ValueAt(i).ToString());
+      lm->Unlock(locker_, PageLock(r.base));
+
+      // Copy qualifying records.
+      {
+        Page* leaf_page;
+        s = bp->FetchPage(r.leaf, &leaf_page);
+        if (!s.ok()) {
+          lm->Unlock(locker_, PageLock(r.leaf));
+          return s;
+        }
+        std::shared_lock<PageLatch> latch(leaf_page->latch());
+        LeafNode ln(leaf_page);
+        bool exact;
+        for (int i = ln.LowerBound(probe, &exact); i < ln.Count(); ++i) {
+          buf_.emplace_back(ln.KeyAt(i).ToString(), ln.ValueAt(i).ToString());
+        }
+        bp->UnpinPage(r.leaf, false);
       }
-      bp->UnpinPage(r.leaf, false);
+      lm->Unlock(locker_, PageLock(r.leaf));
+      leaf_trail_.push_back(r.leaf);
     }
-    lm->Unlock(locker_, PageLock(r.leaf));
-    leaf_trail_.push_back(r.leaf);
 
     if (!has_upper) {
       // Last leaf of its base page: the upper bound is the next base page's
       // low mark (racy but monotonic; see header).
       std::string lm_key;
       PageId next_base;
-      s = tree_->NextBasePage(locker_, base_last_sep, &lm_key, &next_base);
+      Status s = tree_->NextBasePage(locker_, base_last_sep, &lm_key, &next_base);
       if (s.ok()) {
         upper = lm_key;
         has_upper = true;

@@ -48,6 +48,16 @@ class BTreeIterator {
   /// Load the batch for the leaf covering `from_key`.
   Status LoadBatch(const Slice& from_key);
 
+  /// Latch-free variant of one LoadBatch hop: descend optimistically, learn
+  /// the upper bound from the base-page image and copy the batch from the
+  /// leaf image, all without locks or pins. False (leaving no trace in
+  /// buf_) when validation kept failing — the caller runs the S-lock body
+  /// for this hop instead. The iterator's leaf/base S locks are transient
+  /// by design (cursor stability), so skipping them loses no isolation;
+  /// the per-scan tree IS lock taken in Seek is retained either way.
+  bool TryLoadBatchOptimistic(const Slice& probe, std::string* upper,
+                              bool* has_upper, std::string* base_last_sep);
+
   BTree* tree_;
   TxnId locker_;
   bool ephemeral_;

@@ -41,6 +41,7 @@ Status Database::Open(Env* env, DatabaseOptions options,
   if (!s.ok()) return s;
   const RecoveryResult& rr = db->recovery_result_;
 
+  db->options_.tree.optimistic_reads = db->options_.optimistic_reads;
   db->tree_ = std::make_unique<BTree>(db->bp_.get(), db->log_.get(),
                                       &db->locks_, db->options_.tree);
   if (rr.tree_root == kInvalidPageId) {

@@ -44,6 +44,11 @@ struct DatabaseOptions {
   size_t lock_table_stripes = 0;
   /// WAL group-commit buffer cap (see LogManager::set_buffer_limit).
   size_t log_buffer_bytes = 256 * 1024;
+  /// Latch-free read path for ephemeral point reads and scan batches
+  /// (copied into tree.optimistic_reads at Open). With it off, every read
+  /// takes exactly the Table-1 locks it took before the optimistic path
+  /// existed — lock traces are identical.
+  bool optimistic_reads = true;
   BTreeOptions tree;
   ReorganizerOptions reorg;
   RecoveryPolicy recovery_policy = RecoveryPolicy::kForward;

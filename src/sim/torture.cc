@@ -60,7 +60,13 @@ Status TortureHarness::VerifyAgainstModel(Database* db, const char* where) {
                         got.emplace_back(k.ToString(), v.ToString());
                         return true;
                       });
-  if (!s.ok()) return s;  // read error (e.g. detected torn page): propagate
+  if (!s.ok()) {
+    // Read error (e.g. detected torn page): propagate, tagged with the
+    // verification stage so sweep failures name where the read blew up.
+    if (s.IsCorruption()) return s;  // keep the detected-tear contract
+    return Status::InvalidArgument(std::string(where) +
+                                   ": scan error: " + s.ToString());
+  }
   if (got != model_) {
     return Status::InvalidArgument(
         std::string(where) + ": scan diverged from model (" +
@@ -175,8 +181,18 @@ Status TortureHarness::Run(TortureStats* stats) {
     s = VerifyAgainstModel(recovered.get(), "after recovery");
     if (s.ok() && options_.complete_after) {
       ArmStepAside(recovered.get());
-      if (recovered->pass3_pending()) s = recovered->ResumeInternalPass();
-      if (s.ok()) s = recovered->Reorganize();
+      if (recovered->pass3_pending()) {
+        s = recovered->ResumeInternalPass();
+        if (!s.ok() && !s.IsCorruption()) {
+          s = Status::InvalidArgument("resume pass 3: " + s.ToString());
+        }
+      }
+      if (s.ok()) {
+        s = recovered->Reorganize();
+        if (!s.ok() && !s.IsCorruption()) {
+          s = Status::InvalidArgument("complete reorg: " + s.ToString());
+        }
+      }
       if (s.ok()) s = VerifyAgainstModel(recovered.get(), "after completion");
     }
     if (!s.ok()) {

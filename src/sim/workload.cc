@@ -137,8 +137,23 @@ void ConcurrentDriver::Stop() {
   threads_.clear();
 }
 
+size_t ConcurrentDriver::LatBucket(uint64_t ns) {
+  if (ns < 16) return static_cast<size_t>(ns);
+  int e = 63 - __builtin_clzll(ns);  // e >= 4
+  uint64_t mant = (ns >> (e - 4)) & 15;
+  return static_cast<size_t>(e - 3) * 16 + static_cast<size_t>(mant);
+}
+
+uint64_t ConcurrentDriver::LatBucketValue(size_t idx) {
+  if (idx < 16) return static_cast<uint64_t>(idx);
+  int e = static_cast<int>(idx / 16) + 3;
+  uint64_t mant = idx % 16;
+  return (uint64_t{1} << e) | (mant << (e - 4));
+}
+
 DriverStats ConcurrentDriver::stats() const {
   DriverStats total;
+  uint64_t hist[kLatHistBuckets] = {};
   for (const AtomicStats& s : per_thread_) {
     total.ops += s.ops.load(std::memory_order_relaxed);
     total.reads += s.reads.load(std::memory_order_relaxed);
@@ -151,6 +166,25 @@ DriverStats ConcurrentDriver::stats() const {
     total.max_latency_ns =
         std::max(total.max_latency_ns,
                  s.max_latency_ns.load(std::memory_order_relaxed));
+    for (size_t i = 0; i < kLatHistBuckets; ++i) {
+      hist[i] += s.lat_hist[i].load(std::memory_order_relaxed);
+    }
+  }
+  uint64_t n = 0;
+  for (uint64_t c : hist) n += c;
+  if (n > 0) {
+    auto percentile = [&](double q) -> uint64_t {
+      uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1));
+      uint64_t seen = 0;
+      for (size_t i = 0; i < kLatHistBuckets; ++i) {
+        seen += hist[i];
+        if (seen > rank) return LatBucketValue(i);
+      }
+      return LatBucketValue(kLatHistBuckets - 1);
+    };
+    total.p50_ns = percentile(0.50);
+    total.p99_ns = percentile(0.99);
+    total.p999_ns = percentile(0.999);
   }
   return total;
 }
@@ -208,6 +242,7 @@ void ConcurrentDriver::ThreadMain(int idx) {
             std::chrono::steady_clock::now() - t0)
             .count());
     st.total_latency_ns.fetch_add(dt, std::memory_order_relaxed);
+    st.lat_hist[LatBucket(dt)].fetch_add(1, std::memory_order_relaxed);
     uint64_t prev = st.max_latency_ns.load(std::memory_order_relaxed);
     while (dt > prev && !st.max_latency_ns.compare_exchange_weak(
                             prev, dt, std::memory_order_relaxed)) {

@@ -82,6 +82,12 @@ struct DriverStats {
   uint64_t failures = 0;       // unexpected statuses
   uint64_t total_latency_ns = 0;
   uint64_t max_latency_ns = 0;
+  /// Per-op latency percentiles from the drivers' log-bucket histograms
+  /// (~1.6% relative resolution: 16 sub-buckets per power of two). Zero
+  /// until at least one op completed.
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
 };
 
 class ConcurrentDriver {
@@ -99,6 +105,13 @@ class ConcurrentDriver {
   DriverStats stats() const;
 
  private:
+  /// Log-bucket latency histogram shape: 16 sub-buckets per power of two of
+  /// nanoseconds (4 mantissa bits), values below 16 ns exact. 1024 slots
+  /// covers the full uint64 range.
+  static constexpr size_t kLatHistBuckets = 1024;
+  static size_t LatBucket(uint64_t ns);
+  static uint64_t LatBucketValue(size_t idx);
+
   // Per-thread slot with atomic counters: worker threads publish with relaxed
   // stores while stats() reads concurrently from the measuring thread.
   struct AtomicStats {
@@ -110,6 +123,7 @@ class ConcurrentDriver {
     std::atomic<uint64_t> failures{0};
     std::atomic<uint64_t> total_latency_ns{0};
     std::atomic<uint64_t> max_latency_ns{0};
+    std::atomic<uint64_t> lat_hist[kLatHistBuckets] = {};
   };
 
   void ThreadMain(int idx);

@@ -21,11 +21,39 @@ uint32_t MixPageId(PageId id) {
 
 }  // namespace
 
+void RacyCopyPageBytes(char* dst, const char* src) {
+#if defined(SOREORG_TSAN_BUILD)
+  // A library memcpy goes through the sanitizer's interceptor, which records
+  // the reads regardless of the no_sanitize attribute on this function. Copy
+  // through volatile words instead: volatile keeps the compiler from
+  // outlining the loop back into a memcpy call, and the attribute keeps the
+  // loop itself uninstrumented. Any torn word is discarded by the version
+  // validation that follows the copy.
+  const volatile uint64_t* s = reinterpret_cast<const volatile uint64_t*>(src);
+  uint64_t* d = reinterpret_cast<uint64_t*>(dst);
+  for (size_t i = 0; i < kPageSize / sizeof(uint64_t); ++i) d[i] = s[i];
+#else
+  memcpy(dst, src, kPageSize);
+#endif
+}
+
+size_t BufferPool::DefaultShardTarget() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return kDefaultShards;  // unknown: keep the old default
+  size_t target = 1;
+  while (target < hw && target < kDefaultShards) target <<= 1;
+  return target;
+}
+
 size_t BufferPool::PickShardCount(size_t pool_size, size_t requested) {
   if (pool_size == 0) pool_size = 1;
   size_t shards;
   if (requested == 0) {
-    shards = kDefaultShards;
+    // Adaptive default: no point sharding past the core count — on a small
+    // machine the extra shards only spread the working set across more
+    // mutex/LRU cache lines without removing any real contention (visible
+    // as shards=16 trailing shards=1 on single-core hot-hit runs).
+    shards = DefaultShardTarget();
     while (shards > 1 && pool_size / shards < kMinFramesPerShard) shards >>= 1;
   } else {
     shards = 1;
@@ -52,7 +80,32 @@ BufferPool::BufferPool(DiskManager* disk, size_t pool_size, WalFlushFn wal_flush
     // Push in reverse so pop_back hands out frame 0 first (matches the old
     // pool's lowest-unused-frame-first behaviour).
     for (size_t f = n; f-- > 0;) shards_[i].free_frames.push_back(f);
+    // Resident index: fixed capacity, >= 2x frames and >= 8, power of two.
+    size_t cap = 8;
+    while (cap < 2 * n) cap <<= 1;
+    shards_[i].index = std::make_unique<std::atomic<uint64_t>[]>(cap);
+    for (size_t s = 0; s < cap; ++s) {
+      shards_[i].index[s].store(kIdxEmpty, std::memory_order_relaxed);
+    }
+    shards_[i].index_mask = cap - 1;
+    shards_[i].in_lru = std::make_unique<std::atomic<uint8_t>[]>(n == 0 ? 1 : n);
+    for (size_t f = 0; f < n; ++f) {
+      shards_[i].in_lru[f].store(0, std::memory_order_relaxed);
+    }
   }
+}
+
+bool OptimisticPageGuard::Capture(Page* frame, PageId expected) {
+  frame_ = frame;
+  stamp_ = frame->latch().OptimisticVersion();
+  if (stamp_ & 1) return false;  // exclusive writer / frame replacement active
+  RacyCopyPageBytes(image_.data(), frame->data());
+  if (!frame->latch().ValidateVersion(stamp_)) return false;
+  // Self-id check: the frame may have been recycled for another page (and
+  // back to even parity) between the caller's index probe and our stamp.
+  if (image_.header_page_id() != expected) return false;
+  image_.set_page_id(expected);
+  return true;
 }
 
 BufferPool::Shard& BufferPool::shard_for(PageId page_id) {
@@ -76,29 +129,142 @@ uint64_t BufferPool::miss_count() const {
 }
 
 void BufferPool::ShardTouch(Shard* shard, size_t frame_idx) {
+  ShardLruErase(shard, frame_idx);
+  if (shard->frames[frame_idx].page->pin_count() == 0) {
+    shard->lru.push_front(frame_idx);
+    shard->lru_pos[frame_idx] = shard->lru.begin();
+    shard->in_lru[frame_idx].store(1, std::memory_order_release);
+  }
+}
+
+void BufferPool::ShardLruErase(Shard* shard, size_t frame_idx) {
   auto it = shard->lru_pos.find(frame_idx);
   if (it != shard->lru_pos.end()) {
     shard->lru.erase(it->second);
     shard->lru_pos.erase(it);
   }
-  if (shard->frames[frame_idx].page->pin_count() == 0) {
-    shard->lru.push_front(frame_idx);
-    shard->lru_pos[frame_idx] = shard->lru.begin();
+  shard->in_lru[frame_idx].store(0, std::memory_order_release);
+}
+
+void BufferPool::ShardIndexInsert(Shard* shard, PageId pid, size_t frame_idx) {
+  // Periodic in-place compaction: erase/insert churn accumulates tombstones
+  // that stretch probe chains past the lock-free cap. Concurrent lock-free
+  // probes racing a rebuild can only false-miss (and fall back to the
+  // mutex path) or find a duplicate entry for the same pid — both point at
+  // the same frame, since the pid → frame mapping itself is stable under mu.
+  if (shard->index_tombstones > (shard->index_mask + 1) / 4) {
+    ShardIndexRebuild(shard);
+  }
+  // Idempotent insert: scan the whole chain (to the first empty) before
+  // choosing a slot, refreshing a live entry for this pid in place if one
+  // exists. Stopping at the first tombstone instead would plant a duplicate
+  // whenever the pid is already present — e.g. the rebuild above reinserted
+  // it from page_table, where install paths record the pid first. A
+  // duplicate is not benign: ShardIndexErase tombstones only the first
+  // match, and the survivor would keep resolving the pid to a frame long
+  // after it was recycled for another page.
+  size_t slot = MixPageId(pid) & shard->index_mask;
+  size_t target = SIZE_MAX;  // first reusable (tombstone) slot seen
+  while (true) {
+    uint64_t e = shard->index[slot].load(std::memory_order_relaxed);
+    if (e == kIdxEmpty) break;
+    if (e == kIdxTombstone) {
+      if (target == SIZE_MAX) target = slot;
+    } else if (static_cast<PageId>(e >> 32) == pid) {
+      shard->index[slot].store(IdxEncode(pid, frame_idx),
+                               std::memory_order_release);
+      return;
+    }
+    slot = (slot + 1) & shard->index_mask;
+  }
+  if (target == SIZE_MAX) {
+    target = slot;  // the empty slot that ended the scan
+  } else {
+    --shard->index_tombstones;
+  }
+  shard->index[target].store(IdxEncode(pid, frame_idx),
+                             std::memory_order_release);
+}
+
+void BufferPool::ShardIndexErase(Shard* shard, PageId pid) {
+  size_t slot = MixPageId(pid) & shard->index_mask;
+  while (true) {
+    uint64_t e = shard->index[slot].load(std::memory_order_relaxed);
+    if (e == kIdxEmpty) return;  // not present (never inserted / rebuilt away)
+    if (e != kIdxTombstone && static_cast<PageId>(e >> 32) == pid) {
+      shard->index[slot].store(kIdxTombstone, std::memory_order_release);
+      ++shard->index_tombstones;
+      return;
+    }
+    slot = (slot + 1) & shard->index_mask;
   }
 }
 
+void BufferPool::ShardIndexRebuild(Shard* shard) {
+  const size_t cap = shard->index_mask + 1;
+  for (size_t s = 0; s < cap; ++s) {
+    shard->index[s].store(kIdxEmpty, std::memory_order_release);
+  }
+  shard->index_tombstones = 0;
+  for (const auto& entry : shard->page_table) {
+    size_t slot = MixPageId(entry.first) & shard->index_mask;
+    while (shard->index[slot].load(std::memory_order_relaxed) != kIdxEmpty) {
+      slot = (slot + 1) & shard->index_mask;
+    }
+    shard->index[slot].store(IdxEncode(entry.first, entry.second),
+                             std::memory_order_release);
+  }
+}
+
+Page* BufferPool::ShardIndexProbe(const Shard& shard, PageId pid,
+                                  size_t* frame_idx) const {
+  size_t slot = MixPageId(pid) & shard.index_mask;
+  for (size_t probe = 0; probe <= kIdxMaxProbe; ++probe) {
+    const uint64_t e = shard.index[slot].load(std::memory_order_acquire);
+    if (e == kIdxEmpty) return nullptr;
+    if (e != kIdxTombstone && static_cast<PageId>(e >> 32) == pid) {
+      const size_t idx = static_cast<size_t>(e & 0xffffffffu) - 2;
+      *frame_idx = idx;
+      return shard.frames[idx].page.get();
+    }
+    slot = (slot + 1) & shard.index_mask;
+  }
+  return nullptr;  // probe cap: treat as a miss, the caller takes the mutex
+}
+
+Page* BufferPool::FindResident(PageId page_id) {
+  if (fetch_hook_) fetch_hook_(page_id);
+  Shard& shard = shard_for(page_id);
+  size_t frame_idx;
+  return ShardIndexProbe(shard, page_id, &frame_idx);
+}
+
 Status BufferPool::ShardGetVictim(Shard* shard, size_t* frame_idx) {
+  // Either source hands the frame back *claimed* (pin count at kEvictClaim):
+  // the claim CAS is what arbitrates against lock-free fast-path pins, which
+  // see the negative count, undo their increment, and take the mutex path.
+  // The caller converts the claim into the first real pin with
+  // AdjustPin(1 - kEvictClaim) once the frame is reinstalled (or releases it
+  // with AdjustPin(-kEvictClaim) on failure).
+  //
   // Prefer a never-used (or dropped) frame.
-  if (!shard->free_frames.empty()) {
-    *frame_idx = shard->free_frames.back();
-    shard->free_frames.pop_back();
+  for (size_t i = shard->free_frames.size(); i-- > 0;) {
+    size_t idx = shard->free_frames[i];
+    Page* p = shard->frames[idx].page.get();
+    // A transient lock-free pin (stale index hit racing the frame's drop)
+    // can briefly hold the count above zero; skip such a frame this round.
+    if (!p->TryClaimForEvict(kEvictClaim)) continue;
+    shard->free_frames.erase(shard->free_frames.begin() + i);
+    *frame_idx = idx;
     return Status::OK();
   }
   // Evict the least-recently-used unpinned frame.
   for (auto it = shard->lru.rbegin(); it != shard->lru.rend(); ++it) {
     size_t idx = *it;
     Page* p = shard->frames[idx].page.get();
-    if (p->pin_count() > 0) continue;
+    // The LRU list may hold frames whose pins arrived through the lock-free
+    // fast path; the claim CAS fails on those and we move on.
+    if (!p->TryClaimForEvict(kEvictClaim)) continue;
     if (p->is_dirty()) {
       // shard → flush lock order; re-check under flush_mu_ because a
       // cross-shard dependency flush may have cleaned it meanwhile.
@@ -108,13 +274,19 @@ Status BufferPool::ShardGetVictim(Shard* shard, size_t* frame_idx) {
         // Busy: the victim (or one of its write-order dependencies) has an
         // exclusive writer mid-update. Skip to the next LRU candidate rather
         // than blocking with two pool mutexes held.
-        if (s.IsBusy()) continue;
-        if (!s.ok()) return s;
+        if (s.IsBusy()) {
+          p->AdjustPin(-kEvictClaim);
+          continue;
+        }
+        if (!s.ok()) {
+          p->AdjustPin(-kEvictClaim);
+          return s;
+        }
       }
     }
+    ShardIndexErase(shard, p->page_id());
     shard->page_table.erase(p->page_id());
-    shard->lru.erase(shard->lru_pos[idx]);
-    shard->lru_pos.erase(idx);
+    ShardLruErase(shard, idx);
     *frame_idx = idx;
     return Status::OK();
   }
@@ -262,6 +434,29 @@ Status BufferPool::FlushLockedWriteAllDirty() {
 Status BufferPool::FetchPage(PageId page_id, Page** page) {
   if (fetch_hook_) fetch_hook_(page_id);
   Shard& shard = shard_for(page_id);
+  // Lock-free hit path: resolve through the resident index and pin without
+  // the shard mutex. The pin is validated two ways: the pre-increment count
+  // must not carry an eviction claim, and the index must still map the page
+  // to this frame afterwards (our pin makes a recycle impossible from that
+  // point on, so a stable mapping means the bytes are this page's). The
+  // frame deliberately stays wherever it is in the LRU list — membership is
+  // advisory now, the evictor's claim CAS is what protects pinned frames.
+  {
+    size_t frame_idx;
+    Page* p = ShardIndexProbe(shard, page_id, &frame_idx);
+    if (p != nullptr) {
+      if (p->IncPin() >= 0 &&
+          ShardIndexProbe(shard, page_id, &frame_idx) == p) {
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        *page = p;
+        return Status::OK();
+      }
+      // Claimed by an evictor or recycled under us: undo, go through the
+      // mutex. (On a recycled frame this transient pin merely delays the
+      // frame's next eviction by one claim attempt.)
+      p->DecPin();
+    }
+  }
   std::lock_guard<std::mutex> g(shard.mu);
   auto it = shard.page_table.find(page_id);
   if (it != shard.page_table.end()) {
@@ -277,15 +472,24 @@ Status BufferPool::FetchPage(PageId page_id, Page** page) {
   Status s = ShardGetVictim(&shard, &idx);
   if (!s.ok()) return s;
   Page* p = shard.frames[idx].page.get();
+  // Replace the frame's bytes under the version bracket: an optimistic
+  // reader still holding this frame (stale index value or old capture) must
+  // see the stamp move, whether it races the disk read or a completed
+  // reinstall of a different page.
+  p->latch().BeginReplace();
   s = disk_->ReadPage(page_id, p);
   if (!s.ok()) {
+    p->latch().EndReplace();
+    p->AdjustPin(-kEvictClaim);  // release the eviction claim
     shard.free_frames.push_back(idx);
     return s;
   }
   p->set_page_id(page_id);
   p->set_dirty(false);
-  p->IncPin();
+  p->latch().EndReplace();
+  p->AdjustPin(1 - kEvictClaim);  // claim -> first pin
   shard.page_table[page_id] = idx;
+  ShardIndexInsert(&shard, page_id, idx);
   ShardTouch(&shard, idx);
   *page = p;
   return Status::OK();
@@ -297,6 +501,16 @@ Status BufferPool::NewPage(PageId* page_id, Page** page) {
   if (!s.ok()) return s;
   Shard& shard = shard_for(pid);
   std::lock_guard<std::mutex> g(shard.mu);
+  // The allocator can hand back a freed pid whose old image never left the
+  // pool (recovery redo deallocates on disk without touching frames). Drop
+  // that frame first: the resident index keeps the first entry it finds for
+  // a pid, so a silent page_table overwrite would leave lock-free readers
+  // resolving the pid to the stale frame.
+  s = ShardDropFrame(&shard, pid);
+  if (!s.ok()) {
+    disk_->DeallocatePage(pid);
+    return s;
+  }
   size_t idx;
   s = ShardGetVictim(&shard, &idx);
   if (!s.ok()) {
@@ -304,11 +518,14 @@ Status BufferPool::NewPage(PageId* page_id, Page** page) {
     return s;
   }
   Page* p = shard.frames[idx].page.get();
+  p->latch().BeginReplace();
   p->Reset();
   p->set_page_id(pid);
   p->SetHeaderPageId(pid);
-  p->IncPin();
+  p->latch().EndReplace();
+  p->AdjustPin(1 - kEvictClaim);  // claim -> first pin
   shard.page_table[pid] = idx;
+  ShardIndexInsert(&shard, pid, idx);
   ShardTouch(&shard, idx);
   {
     std::lock_guard<std::mutex> fg(flush_mu_);
@@ -323,6 +540,11 @@ Status BufferPool::NewPage(PageId* page_id, Page** page) {
 Status BufferPool::NewFrameForExisting(PageId page_id, Page** page) {
   Shard& shard = shard_for(page_id);
   std::lock_guard<std::mutex> g(shard.mu);
+  // The destination pid comes from the free set, but its freed image may
+  // still sit in a frame (same stale-resident hazard as NewPage); drop it
+  // before remapping so no shadowing index entry survives.
+  Status drop = ShardDropFrame(&shard, page_id);
+  if (!drop.ok()) return drop;
   auto it = shard.page_table.find(page_id);
   if (it != shard.page_table.end()) {
     Page* p = shard.frames[it->second].page.get();
@@ -335,11 +557,14 @@ Status BufferPool::NewFrameForExisting(PageId page_id, Page** page) {
   Status s = ShardGetVictim(&shard, &idx);
   if (!s.ok()) return s;
   Page* p = shard.frames[idx].page.get();
+  p->latch().BeginReplace();
   p->Reset();
   p->set_page_id(page_id);
   p->SetHeaderPageId(page_id);
-  p->IncPin();
+  p->latch().EndReplace();
+  p->AdjustPin(1 - kEvictClaim);  // claim -> first pin
   shard.page_table[page_id] = idx;
+  ShardIndexInsert(&shard, page_id, idx);
   ShardTouch(&shard, idx);
   {
     std::lock_guard<std::mutex> fg(flush_mu_);
@@ -352,6 +577,31 @@ Status BufferPool::NewFrameForExisting(PageId page_id, Page** page) {
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
   Shard& shard = shard_for(page_id);
+  // Lock-free clean-unpin path: the caller's pin keeps the frame resident
+  // and its index entry stable, so a successful probe is authoritative. The
+  // shard mutex is only needed when the frame must (re)enter the LRU list
+  // and is not already there; a frame still in the list keeps its old
+  // recency — advisory staleness the evictor tolerates.
+  if (!dirty) {
+    size_t frame_idx;
+    Page* p = ShardIndexProbe(shard, page_id, &frame_idx);
+    if (p != nullptr) {
+      const int prior = p->DecPin();
+      if (prior <= 0) {
+        p->AdjustPin(1);  // undo; preserve the mutex path's error contract
+        return Status::InvalidArgument("unpin of unpinned page");
+      }
+      if (prior == 1 &&
+          shard.in_lru[frame_idx].load(std::memory_order_acquire) == 0) {
+        std::lock_guard<std::mutex> g(shard.mu);
+        auto it = shard.page_table.find(page_id);
+        if (it != shard.page_table.end() && it->second == frame_idx) {
+          ShardTouch(&shard, frame_idx);  // adds only if still unpinned
+        }
+      }
+      return Status::OK();
+    }
+  }
   std::lock_guard<std::mutex> g(shard.mu);
   auto it = shard.page_table.find(page_id);
   if (it == shard.page_table.end()) {
@@ -381,15 +631,21 @@ Status BufferPool::ShardDropFrame(Shard* shard, PageId page_id) {
   if (it != shard->page_table.end()) {
     size_t idx = it->second;
     Page* p = shard->frames[idx].page.get();
-    if (p->pin_count() > 0) {
+    // Claim, don't just check: a lock-free fetch could pin the frame between
+    // a bare pin_count() read and the index erase below. The claim makes
+    // such a racer undo its pin and take the mutex path (where the page is
+    // gone). A transient lock-free pin also fails the CAS; report Busy, same
+    // as for a real pin.
+    if (!p->TryClaimForEvict(kEvictClaim)) {
       return Status::Busy("delete of pinned page");
     }
+    ShardIndexErase(shard, page_id);
     shard->page_table.erase(it);
-    auto lp = shard->lru_pos.find(idx);
-    if (lp != shard->lru_pos.end()) {
-      shard->lru.erase(lp->second);
-      shard->lru_pos.erase(lp);
-    }
+    ShardLruErase(shard, idx);
+    // The bytes stay as they are, but any in-flight optimistic capture of
+    // them must not validate once the page has left the pool.
+    p->latch().InvalidateVersion();
+    p->AdjustPin(-kEvictClaim);  // frame rests in the free list at pin 0
     shard->free_frames.push_back(idx);
     std::lock_guard<std::mutex> fg(flush_mu_);
     p->set_dirty(false);

@@ -15,14 +15,25 @@
 // discards everything after the last fsync, so the dependency machinery is
 // exercised for real by the crash tests.
 //
-// Concurrency: the pool is N-way sharded (N a power of two, default 16,
-// scaled down so small pools keep a useful number of frames per shard). A
-// page's shard is chosen by a mix of its PageId, and each shard owns its own
-// mutex, frame set, page table and LRU list — fetch/unpin/eviction of pages
-// in different shards never contend. The careful-writing state (write-order
-// edges, durability sets, deferred deallocs) is global by nature — an edge
-// may connect pages in different shards — so it lives behind a separate
-// flush-ordering mutex that also serializes every page write to disk.
+// Concurrency: the pool is N-way sharded (N a power of two, default derived
+// from hardware_concurrency() capped at 16, scaled down so small pools keep
+// a useful number of frames per shard). A page's shard is chosen by a mix of
+// its PageId, and each shard owns its own mutex, frame set, page table and
+// LRU list — fetch/unpin/eviction of pages in different shards never
+// contend. The careful-writing state (write-order edges, durability sets,
+// deferred deallocs) is global by nature — an edge may connect pages in
+// different shards — so it lives behind a separate flush-ordering mutex that
+// also serializes every page write to disk.
+//
+// Read fast path: each shard additionally keeps a lock-free open-addressed
+// resident index (PageId → frame) probed without the shard mutex. Clean
+// FetchPage hits pin through it (an eviction-claim CAS on the pin count
+// keeps a lock-free pin and a concurrent eviction from both winning the
+// frame), clean unpins release through it, and the optimistic read path
+// (OptimisticPageGuard + FindResident) locates frames through it without
+// pinning at all, relying on the PageLatch version stamp to invalidate any
+// copy taken from a frame that was concurrently written or recycled. The
+// index is only mutated under the shard mutex, wherever page_table changes.
 //
 // Lock order: shard mutex → flush mutex. A thread may take flush_mu_ while
 // holding (at most) one shard mutex; code holding flush_mu_ never takes a
@@ -66,10 +77,13 @@ class BufferPool {
   /// LogManager::FlushTo; may be empty when running without a WAL.
   using WalFlushFn = std::function<Status(Lsn)>;
 
-  /// `num_shards` = 0 picks the default (16, halved until every shard keeps
-  /// at least kMinFramesPerShard frames, so tiny test pools degrade to a
-  /// single shard and preserve exact global-LRU semantics). An explicit
-  /// value is rounded up to a power of two and capped at pool_size.
+  /// `num_shards` = 0 picks the default (DefaultShardTarget(), i.e. the
+  /// smallest power of two covering hardware_concurrency() capped at 16 —
+  /// sharding past the core count only buys cache-line spread the machine
+  /// cannot use — halved until every shard keeps at least
+  /// kMinFramesPerShard frames, so tiny test pools degrade to a single
+  /// shard and preserve exact global-LRU semantics). An explicit value is
+  /// rounded up to a power of two and capped at pool_size.
   BufferPool(DiskManager* disk, size_t pool_size, WalFlushFn wal_flush = nullptr,
              size_t num_shards = 0);
 
@@ -80,7 +94,18 @@ class BufferPool {
   void SetFetchHook(std::function<void(PageId)> hook);
 
   /// Pin and return the page. Caller must UnpinPage (or use PageGuard).
+  /// Clean hits are served lock-free through the shard's resident index.
   Status FetchPage(PageId page_id, Page** page);
+
+  /// Locate a resident frame without pinning it, entirely lock-free. The
+  /// returned pointer is a *frame*, not a stable page: the frame may be
+  /// concurrently written, evicted, or recycled for another page id at any
+  /// moment. It is only usable through OptimisticPageGuard::Capture, whose
+  /// version-stamp validation discards every copy such a race could tear.
+  /// Returns nullptr when the page is not resident (or the lock-free probe
+  /// gave up); the caller falls back to the pinned/locked path. Invokes the
+  /// fetch hook like FetchPage, so the schedule harness can interpose.
+  Page* FindResident(PageId page_id);
 
   /// Allocate a fresh page (zeroed, typed kFree) and pin it.
   Status NewPage(PageId* page_id, Page** page);
@@ -161,30 +186,67 @@ class BufferPool {
   static constexpr size_t kDefaultShards = 16;
   static constexpr size_t kMinFramesPerShard = 16;
 
+  /// Shard count used when the caller does not request one: the smallest
+  /// power of two >= hardware_concurrency(), capped at kDefaultShards.
+  static size_t DefaultShardTarget();
+
+  /// Pin-count value an evictor CASes in (from 0) to claim a frame. Large
+  /// and negative so any number of transient lock-free pins on top of it
+  /// still reads as "claimed" (< 0) and cannot overflow back past zero.
+  static constexpr int kEvictClaim = -(1 << 30);
+
  private:
   struct Frame {
     std::unique_ptr<Page> page = std::make_unique<Page>();
   };
 
+  // Lock-free resident-index slot encoding.
+  static constexpr uint64_t kIdxEmpty = 0;      // probe stops here
+  static constexpr uint64_t kIdxTombstone = 1;  // probe continues
+  static constexpr size_t kIdxMaxProbe = 32;    // lock-free probe cap
+  static uint64_t IdxEncode(PageId pid, size_t frame_idx) {
+    return (static_cast<uint64_t>(pid) << 32) |
+           static_cast<uint64_t>(frame_idx + 2);
+  }
+
   struct Shard {
     mutable std::mutex mu;
     std::vector<Frame> frames;
     std::unordered_map<PageId, size_t> page_table;
-    std::list<size_t> lru;  // front = most recent; only unpinned frames
+    std::list<size_t> lru;  // front = most recent; unpinned-or-fastpath-pinned
     std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos;
     std::vector<size_t> free_frames;  // never-used / dropped frame indices
     // Per-shard hit counter: one shared cache line for the hit count would
     // serialize the hot read path the sharding just opened up.
     std::atomic<uint64_t> hits{0};
+    // Lock-free resident index: open-addressed (linear probing), fixed
+    // power-of-two capacity >= 2x frames, mutated only under mu wherever
+    // page_table changes, probed without mu by the read fast paths. Slots
+    // hold IdxEncode(pid, frame) or kIdxEmpty/kIdxTombstone.
+    std::unique_ptr<std::atomic<uint64_t>[]> index;
+    size_t index_mask = 0;
+    size_t index_tombstones = 0;  // under mu; triggers in-place rebuild
+    // Mirrors lru membership per frame (maintained under mu, read lock-free
+    // by the clean-unpin fast path): a frame already in the LRU list needs
+    // no mutex visit when its last pin drops. Staleness is benign — worst
+    // case the unpin takes the mutex path or the frame keeps an old recency.
+    std::unique_ptr<std::atomic<uint8_t>[]> in_lru;
   };
 
   static size_t PickShardCount(size_t pool_size, size_t requested);
   Shard& shard_for(PageId page_id);
 
-  // Shard* helpers require that shard's mu held.
+  // Shard* helpers require that shard's mu held...
   Status ShardGetVictim(Shard* shard, size_t* frame_idx);
   Status ShardDropFrame(Shard* shard, PageId page_id);
   void ShardTouch(Shard* shard, size_t frame_idx);
+  void ShardLruErase(Shard* shard, size_t frame_idx);
+  void ShardIndexInsert(Shard* shard, PageId pid, size_t frame_idx);
+  void ShardIndexErase(Shard* shard, PageId pid);
+  void ShardIndexRebuild(Shard* shard);
+  // ...except the probe, which is the lock-free read-side entry point.
+  Page* ShardIndexProbe(const Shard& shard, PageId pid,
+                        size_t* frame_idx) const;
 
   // FlushLocked* helpers require flush_mu_ held (and never take shard locks).
   // FlushLockedWrite walks the write-order graph iteratively (cycle-safe:
@@ -271,6 +333,43 @@ class PageGuard {
   BufferPool* pool_ = nullptr;
   Page* page_ = nullptr;
   bool dirty_ = false;
+};
+
+/// Latch-free validated snapshot of one page (the optimistic read path's
+/// unit of work). Capture() stamps the frame's seqlock version, copies the
+/// 4 KiB image unlatched into a private buffer, then validates that no
+/// exclusive-latch hold or frame recycling intervened — so a true return
+/// hands back a byte-consistent image that existed in the pool at capture
+/// time, without touching the lock manager, the shard mutex, or the pin
+/// count. Revalidate() re-checks the same stamp later; optimistic lock
+/// coupling uses it to confirm a parent image was still current after its
+/// child was captured.
+class OptimisticPageGuard {
+ public:
+  OptimisticPageGuard() = default;
+  OptimisticPageGuard(const OptimisticPageGuard&) = delete;
+  OptimisticPageGuard& operator=(const OptimisticPageGuard&) = delete;
+
+  /// Snapshot `frame` expecting it to hold page `expected`. False on any of:
+  /// writer active (odd version), version changed across the copy, or the
+  /// copied image's self-id differing from `expected` (the frame was
+  /// recycled for another page between lookup and capture).
+  bool Capture(Page* frame, PageId expected);
+
+  /// True iff the captured frame's version still equals the capture stamp
+  /// (no exclusive hold or recycling since). Only valid after a successful
+  /// Capture.
+  bool Revalidate() const { return frame_->latch().ValidateVersion(stamp_); }
+
+  /// The private, immutable image. Safe to parse with the node/slotted-page
+  /// readers; never aliased by concurrent writers.
+  Page* page() { return &image_; }
+  const Page* page() const { return &image_; }
+
+ private:
+  Page image_{Page::NoInit{}};
+  Page* frame_ = nullptr;
+  uint64_t stamp_ = 0;
 };
 
 }  // namespace soreorg

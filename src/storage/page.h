@@ -28,6 +28,26 @@
 
 #include "src/util/coding.h"
 
+// TSan must not instrument the optimistic read path's byte copy: it reads
+// page bytes that a concurrent exclusive-latch holder may be writing, and
+// the version validation that follows discards any torn copy. See
+// RacyCopyPageBytes in buffer_pool.cc.
+#if defined(__has_attribute)
+#if __has_attribute(no_sanitize)
+#define SOREORG_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#endif
+#endif
+#ifndef SOREORG_NO_SANITIZE_THREAD
+#define SOREORG_NO_SANITIZE_THREAD
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define SOREORG_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SOREORG_TSAN_BUILD 1
+#endif
+#endif
+
 namespace soreorg {
 
 using PageId = uint32_t;
@@ -68,16 +88,27 @@ enum class PageType : uint8_t {
 /// makes the copy race-free under TSan: page bytes mutate only between the
 /// writing_=true and writing_=false flips, and the memcpy runs only while
 /// writing_ is false, with both sides ordered by snap_mu_.
+/// The latch doubles as the page's optimistic-read version stamp (a seqlock):
+/// version_ is odd exactly while an exclusive writer is active, and every
+/// exclusive acquire/release bumps it. A latch-free reader snapshots an even
+/// version, copies the bytes unlatched, and re-checks the version; any
+/// concurrent exclusive hold — or a frame replacement bracketed by
+/// BeginReplace/EndReplace — changes the stamp and invalidates the copy.
 class PageLatch {
  public:
   void lock() {
     mu_.lock();
+    // acq_rel: the acquire half keeps the holder's page writes from being
+    // hoisted above the odd bump, so a reader that copied bytes touched by
+    // this holder cannot still observe the old (even) version.
+    version_.fetch_add(1, std::memory_order_acq_rel);
     std::lock_guard<std::mutex> g(snap_mu_);
     writing_ = true;
   }
 
   bool try_lock() {
     if (!mu_.try_lock()) return false;
+    version_.fetch_add(1, std::memory_order_acq_rel);
     std::lock_guard<std::mutex> g(snap_mu_);
     writing_ = true;
     return true;
@@ -88,6 +119,9 @@ class PageLatch {
       std::lock_guard<std::mutex> g(snap_mu_);
       writing_ = false;
     }
+    // release: the holder's writes happen-before the even bump a validating
+    // reader must observe.
+    version_.fetch_add(1, std::memory_order_release);
     mu_.unlock();
   }
 
@@ -105,15 +139,71 @@ class PageLatch {
     return true;
   }
 
+  // --- optimistic-read (seqlock) face ---------------------------------------
+
+  /// First half of a latch-free read: an even result may be used as the
+  /// validation stamp; an odd result means an exclusive writer (or a frame
+  /// replacement) is mid-update and the read must not even start.
+  uint64_t OptimisticVersion() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Second half: true iff no exclusive hold or frame replacement started
+  /// since `stamp` was read. The acquire fence orders the caller's byte
+  /// reads before the re-load (the seqlock reader-side rmb).
+  bool ValidateVersion(uint64_t stamp) const {
+#if defined(SOREORG_TSAN_BUILD)
+    // TSan cannot model fences (GCC hard-errors under -Wtsan). The byte
+    // copy this fence orders is TSan-opaque anyway (RacyCopyPageBytes), so
+    // under TSan an acquire re-load of the version stands in for the
+    // fence + relaxed-load pair.
+    return version_.load(std::memory_order_acquire) == stamp;
+#else
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return version_.load(std::memory_order_relaxed) == stamp;
+#endif
+  }
+
+  /// Frame-replacement bracket for the buffer pool: while a frame's bytes
+  /// are replaced outside the latch (disk read into a recycled frame, Reset
+  /// in NewPage), the version must look writer-active so a concurrent
+  /// optimistic reader discards its copy. The pool owns the frame
+  /// exclusively at these points (eviction claim / free-list pop), so only
+  /// the parity matters, not mutual exclusion.
+  void BeginReplace() { version_.fetch_add(1, std::memory_order_acq_rel); }
+  void EndReplace() { version_.fetch_add(1, std::memory_order_release); }
+
+  /// One-shot invalidation for a frame leaving the pool with its bytes
+  /// intact (DeletePage): stays even, but any in-flight optimistic copy of
+  /// the old contents fails validation.
+  void InvalidateVersion() { version_.fetch_add(2, std::memory_order_release); }
+
  private:
   std::shared_mutex mu_;
   std::mutex snap_mu_;  // leaf: guards writing_ and the snapshot memcpy
   bool writing_ = false;
+  std::atomic<uint64_t> version_{0};
 };
+
+/// Raw unsynchronized page-byte copy used by OptimisticPageGuard. Must stay
+/// out of TSan (the read intentionally races exclusive-latch writers; the
+/// caller validates the version afterwards and discards torn copies) and out
+/// of instrumented callers (noinline, so the attribute keeps its effect).
+SOREORG_NO_SANITIZE_THREAD
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+void RacyCopyPageBytes(char* dst, const char* src);
 
 class Page {
  public:
   Page() { Reset(); }
+
+  /// Uninitialized-bytes constructor for OptimisticPageGuard's local image:
+  /// the guard overwrites all kPageSize bytes on capture, so zeroing them
+  /// first would only add a memset to every latch-free read.
+  struct NoInit {};
+  explicit Page(NoInit) {}
 
   // --- raw bytes -----------------------------------------------------------
   char* data() { return data_; }
@@ -153,8 +243,27 @@ class Page {
   void set_page_id(PageId id) { page_id_ = id; }
 
   int pin_count() const { return pin_count_.load(std::memory_order_relaxed); }
-  void IncPin() { pin_count_.fetch_add(1, std::memory_order_relaxed); }
-  int DecPin() { return pin_count_.fetch_sub(1, std::memory_order_relaxed); }
+
+  /// Returns the pre-increment count. The lock-free FetchPage fast path
+  /// needs it to detect an eviction claim (a large negative count, see
+  /// BufferPool::kEvictClaim): pinning such a frame must be undone. acq_rel
+  /// so a successful lock-free pin synchronizes with the evictor's claim.
+  int IncPin() { return pin_count_.fetch_add(1, std::memory_order_acq_rel); }
+  int DecPin() { return pin_count_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// Eviction-claim CAS: atomically take a frame with no pins out of
+  /// circulation. Only the pool's victim scan uses this.
+  bool TryClaimForEvict(int claim_value) {
+    int expected = 0;
+    return pin_count_.compare_exchange_strong(expected, claim_value,
+                                              std::memory_order_acq_rel);
+  }
+
+  /// Adjust the pin count by an arbitrary delta (release/restore an eviction
+  /// claim without clobbering concurrent transient pins).
+  void AdjustPin(int delta) {
+    pin_count_.fetch_add(delta, std::memory_order_acq_rel);
+  }
 
   // Atomic so the sharded buffer pool can read it without a lock; the
   // transitions themselves are serialized by the pool's flush mutex (see

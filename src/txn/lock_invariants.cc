@@ -39,6 +39,10 @@ void LockInvariantChecker::set_leaf_page_predicate(
   leaf_pred_ = std::move(pred);
 }
 
+void LockInvariantChecker::set_lock_manager(const LockManager* lm) {
+  lm_.store(lm, std::memory_order_release);
+}
+
 void LockInvariantChecker::Reset() {
   violations_ = 0;
   recorded_.clear();
@@ -83,6 +87,27 @@ void LockInvariantChecker::CheckHolders(
              "reorganizer granted X on " + NameString(name) +
                  " inside the switch window without holding the side-file X "
                  "lock; a drain could race a recording updater");
+    }
+  }
+  // Invariant (g): a page-lock holder that conflicts with S must be visible
+  // to latch-free readers through the manager's page-mark counter, or an
+  // optimistic read could slide past an exclusive page lock. The manager
+  // calls CheckHolders after NoteHolderChange at every mutation, so the mark
+  // is already up to date for this holder map. Hash collisions across the
+  // mark slots can only make the counter larger, never zero while a marking
+  // holder exists.
+  if (const LockManager* lm = lm_.load(std::memory_order_acquire);
+      lm != nullptr && name.space == LockSpace::kPage) {
+    for (const auto& [txn, mode] : holders) {
+      if (!LockCompatible(mode, LockMode::kS) &&
+          !lm->PageSharedReadBlocked(static_cast<uint32_t>(name.id))) {
+        Report("optimistic-mark",
+               "txn " + std::to_string(txn) + " holds " + LockModeName(mode) +
+                   " on " + NameString(name) +
+                   " but the page-mark counter is zero; latch-free readers "
+                   "would not fall back to the S-lock path");
+        break;
+      }
     }
   }
   for (auto it = holders.begin(); it != holders.end(); ++it) {

@@ -22,6 +22,15 @@
 //       — but only while it does NOT hold the old tree lock, so a drain can
 //       never run concurrently with a recording updater. An old-tree X grant
 //       without the side-file X is exactly that race.
+//   (g) optimistic-mark: whenever a page-lock queue has a granted holder
+//       whose mode is incompatible with S (X, IX, RX), the manager's
+//       lock-free page-mark counter for that page must be non-zero — this is
+//       the signal latch-free readers use to fall back to the Table-1 S-lock
+//       path instead of skipping the lock manager. A marking holder without
+//       a mark would let an optimistic reader slide past an exclusive page
+//       lock. Checked only when the checker is attached to a LockManager
+//       (set_lock_manager); standalone checkers driven by hand-built holder
+//       maps skip it.
 //
 // The checker is wired into LockManager behind a single pointer test: debug
 // and sanitizer builds (!NDEBUG or SOREORG_LOCK_INVARIANTS) install one by
@@ -54,7 +63,7 @@ struct LockName;
 struct LockViolation {
   /// Stable identifier of the broken invariant: "table1-compatibility",
   /// "rs-granted", "rx-ownership", "rx-name-space", "rx-not-leaf",
-  /// "victim-policy", "surviving-cycle", "switch-window".
+  /// "victim-policy", "surviving-cycle", "switch-window", "optimistic-mark".
   std::string invariant;
   std::string detail;
 };
@@ -72,6 +81,13 @@ class LockInvariantChecker {
   /// `id` with `pred(id) == false` is a violation. Without it the checker
   /// still enforces the kPage name space and the kReorgTxnId owner.
   void set_leaf_page_predicate(std::function<bool(uint64_t)> pred);
+
+  /// Enables invariant (g) by pointing the checker at the manager whose
+  /// page-mark counters should agree with the holder maps it is shown.
+  /// LockManager calls this when a checker is installed; a checker used
+  /// standalone (direct CheckHolders calls in tests) leaves it null and
+  /// invariant (g) is skipped.
+  void set_lock_manager(const LockManager* lm);
 
   uint64_t violations() const { return violations_; }
   const std::vector<LockViolation>& recorded() const { return recorded_; }
@@ -108,6 +124,9 @@ class LockInvariantChecker {
 
   Handler handler_;
   std::function<bool(uint64_t)> leaf_pred_;
+  // Invariant (g): atomic because CheckHolders fires under whichever stripe
+  // mutex owns the touched name while installation happens on another thread.
+  std::atomic<const LockManager*> lm_{nullptr};
   uint64_t violations_ = 0;
   std::vector<LockViolation> recorded_;
 

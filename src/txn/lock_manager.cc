@@ -59,12 +59,17 @@ LockManager::LockManager(size_t num_stripes)
     : stripes_(PickStripeCount(num_stripes)),
       stripe_mask_(stripes_.size() - 1),
       held_shards_(stripes_.size()),
-      held_mask_(held_shards_.size() - 1) {
+      held_mask_(held_shards_.size() - 1),
+      page_marks_(std::make_unique<std::atomic<uint32_t>[]>(kPageMarkSlots)) {
+  for (size_t i = 0; i < kPageMarkSlots; ++i) {
+    page_marks_[i].store(0, std::memory_order_relaxed);
+  }
 #if !defined(NDEBUG) || defined(SOREORG_LOCK_INVARIANTS)
   // Debug / sanitizer builds machine-check the Table-1 protocol on every
   // grant; a violation aborts. Release builds leave checker_ null, so every
   // lock operation pays exactly one pointer test.
   default_checker_ = std::make_unique<LockInvariantChecker>();
+  default_checker_->set_lock_manager(this);
   checker_ = default_checker_.get();
 #endif
 }
@@ -114,11 +119,45 @@ void LockManager::ForgetHeld(TxnId txn, const LockName& name) {
   if (names.empty()) hs.held.erase(it);
 }
 
+bool LockManager::PageMarkedMode(const LockName& name, LockMode mode) {
+  return name.space == LockSpace::kPage && !LockCompatible(mode, LockMode::kS);
+}
+
+size_t LockManager::PageMarkSlot(uint64_t id) {
+  // fmix64, same mix as StripeIndex but over the raw page id.
+  uint64_t h = id;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return static_cast<size_t>(h) & (kPageMarkSlots - 1);
+}
+
+void LockManager::NoteHolderChange(const LockName& name, const LockMode* from,
+                                   const LockMode* to) {
+  const bool was = from != nullptr && PageMarkedMode(name, *from);
+  const bool now = to != nullptr && PageMarkedMode(name, *to);
+  if (was == now) return;
+  std::atomic<uint32_t>& slot = page_marks_[PageMarkSlot(name.id)];
+  if (now) {
+    slot.fetch_add(1, std::memory_order_acq_rel);
+  } else {
+    slot.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+bool LockManager::PageSharedReadBlocked(uint32_t page_id) const {
+  return page_marks_[PageMarkSlot(page_id)].load(std::memory_order_acquire) !=
+         0;
+}
+
 void LockManager::SetEventHook(EventHook hook) {
   event_hook_ = std::move(hook);
 }
 
 void LockManager::SetInvariantChecker(LockInvariantChecker* checker) {
+  if (checker != nullptr) checker->set_lock_manager(this);
   checker_ = checker != nullptr ? checker : default_checker_.get();
 }
 
@@ -143,7 +182,13 @@ void LockManager::ForceGrantForTest(TxnId txn, const LockName& name,
   Stripe& st = stripe_for(name);
   std::lock_guard<std::mutex> g(st.mu);
   Queue& q = st.queues[name];
-  if (q.holders.find(txn) == q.holders.end()) RecordHeld(txn, name);
+  auto h = q.holders.find(txn);
+  if (h == q.holders.end()) {
+    RecordHeld(txn, name);
+    NoteHolderChange(name, nullptr, &mode);
+  } else {
+    NoteHolderChange(name, &h->second, &mode);
+  }
   q.holders[txn] = mode;
   LockedCheckHolders(name, q);
 }
@@ -368,6 +413,7 @@ Status LockManager::LockWait(TxnId txn, const LockName& name, LockMode mode,
       stats_.instant_grants.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();
     }
+    NoteHolderChange(name, converting ? &h->second : nullptr, &target);
     q.holders[txn] = target;
     if (!converting) RecordHeld(txn, name);
     if (converting) stats_.conversions.fetch_add(1, std::memory_order_relaxed);
@@ -432,6 +478,11 @@ Status LockManager::LockWait(TxnId txn, const LockName& name, LockMode mode,
         stats_.instant_grants.fetch_add(1, std::memory_order_relaxed);
         return Status::OK();
       }
+      // Re-find the holder entry: `h` predates the wait, and reading the
+      // old mode through a stale iterator is not worth the risk.
+      auto hold = q.holders.find(txn);
+      NoteHolderChange(name, hold != q.holders.end() ? &hold->second : nullptr,
+                       &target);
       q.holders[txn] = target;
       if (!converting) RecordHeld(txn, name);
       if (converting)
@@ -502,6 +553,7 @@ Status LockManager::TryLock(TxnId txn, const LockName& name, LockMode mode) {
       } else if (!LockedGrantable(q, txn, target, converting, nullptr)) {
         result = Status::Busy("lock unavailable");
       } else {
+        NoteHolderChange(name, converting ? &h->second : nullptr, &target);
         q.holders[txn] = target;
         if (!converting) RecordHeld(txn, name);
         if (converting)
@@ -531,9 +583,15 @@ Status LockManager::Unlock(TxnId txn, const LockName& name) {
     Stripe& stripe = stripe_for(name);
     std::lock_guard<std::mutex> g(stripe.mu);
     auto qit = stripe.queues.find(name);
-    if (qit == stripe.queues.end() || qit->second.holders.erase(txn) == 0) {
+    if (qit == stripe.queues.end()) {
       return Status::NotFound("lock not held");
     }
+    auto h = qit->second.holders.find(txn);
+    if (h == qit->second.holders.end()) {
+      return Status::NotFound("lock not held");
+    }
+    NoteHolderChange(name, &h->second, nullptr);
+    qit->second.holders.erase(h);
     ForgetHeld(txn, name);
     // Defensive revalidation on release: also keeps the invariant checker's
     // derived side-file state (invariant (f)) current when the switcher's
@@ -556,6 +614,7 @@ Status LockManager::Downgrade(TxnId txn, const LockName& name, LockMode mode) {
   if (!LockCovers(h->second, mode)) {
     return Status::InvalidArgument("not a downgrade");
   }
+  NoteHolderChange(name, &h->second, &mode);
   h->second = mode;
   LockedCheckHolders(name, qit->second);
   LockedWakeWaiters(qit->second);
@@ -579,7 +638,11 @@ void LockManager::ReleaseAll(TxnId txn) {
     std::lock_guard<std::mutex> g(stripe.mu);
     auto qit = stripe.queues.find(name);
     if (qit == stripe.queues.end()) continue;
-    qit->second.holders.erase(txn);
+    auto h = qit->second.holders.find(txn);
+    if (h != qit->second.holders.end()) {
+      NoteHolderChange(name, &h->second, nullptr);
+      qit->second.holders.erase(h);
+    }
     LockedCheckHolders(name, qit->second);
     LockedWakeWaiters(qit->second);
     LockedMaybeEraseQueue(stripe, qit);

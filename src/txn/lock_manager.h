@@ -211,6 +211,29 @@ class LockManager {
   /// Re-validate every queue against the Table-1 invariants now (test use).
   void CheckInvariantsNow();
 
+  /// Lock-free isolation summary for the optimistic read path. Nonzero
+  /// (true) means some transaction currently holds a *page-space* lock that
+  /// is incompatible with a reader's S mode (X, IX, RX) on a page id
+  /// hashing to `page_id`'s mark slot — i.e. the page may carry uncommitted
+  /// record changes or be mid-structure-modification, and a latch-free
+  /// reader must fall back to the Table-1 S-lock protocol instead of using
+  /// its captured image. False negatives are impossible by construction
+  /// (the counter is bumped when such a lock is granted, before the holder
+  /// can touch page bytes under the latch, and only dropped at release);
+  /// false positives (hash sharing, 4096 slots) merely cost a fallback.
+  ///
+  /// Why a reader may trust a zero AFTER a version-validated capture: if the
+  /// capture observed any bytes a lock holder wrote, the holder's exclusive
+  /// latch release (version bump) happens-before the reader's validating
+  /// load, and the mark increment is sequenced before every latched write —
+  /// so the reader's subsequent mark load sees the increment unless the
+  /// holder has already released the lock, which under strict 2PL means the
+  /// transaction committed (or finished undoing, bumping the version and
+  /// failing the capture) first.
+  bool PageSharedReadBlocked(uint32_t page_id) const;
+
+  static constexpr size_t kPageMarkSlots = 4096;
+
   /// TEST ONLY: install `txn` as a holder of `mode` on `name` without any
   /// compatibility or protocol checking, then run the invariant checker on
   /// the resulting queue. This is the seeded-violation backdoor for the
@@ -295,6 +318,16 @@ class LockManager {
   void AllLockedBuildWaitsFor(
       std::unordered_map<TxnId, std::vector<TxnId>>* graph) const;
 
+  /// True iff a grant of `mode` on `name` must be reflected in the page
+  /// marks: page-space names whose mode is incompatible with kS.
+  static bool PageMarkedMode(const LockName& name, LockMode mode);
+  static size_t PageMarkSlot(uint64_t id);
+  /// Maintain the page marks across a holder transition on `name` (called
+  /// at every site that inserts, overwrites, or erases a q.holders entry,
+  /// with the stripe mutex held). `from`/`to` are null for absent.
+  void NoteHolderChange(const LockName& name, const LockMode* from,
+                        const LockMode* to);
+
   Status LockImpl(TxnId txn, const LockName& name, LockMode mode,
                   bool instant, int64_t timeout_ms);
   // The blocking core of LockImpl; the wrapper adds event notifications.
@@ -318,6 +351,10 @@ class LockManager {
     std::atomic<uint64_t> conversions{0};
   };
   AtomicStats stats_;
+
+  // Page-exclusive mark counters (see PageSharedReadBlocked). Writes happen
+  // under the owning name's stripe mutex; reads are lock-free.
+  std::unique_ptr<std::atomic<uint32_t>[]> page_marks_;
 
   EventHook event_hook_;
   LockInvariantChecker* checker_ = nullptr;

@@ -25,9 +25,14 @@ struct PoolFixture {
 
 TEST(BufferPoolShardTest, ShardCountSelection) {
   PoolFixture fx;
-  // Auto: default 16 shards, halved until every shard keeps >= 16 frames.
-  EXPECT_EQ(BufferPool(&fx.dm, 4096).shard_count(), 16u);
-  EXPECT_EQ(BufferPool(&fx.dm, 96).shard_count(), 4u);
+  // Auto: the machine-sized default (smallest power of two covering the
+  // hardware thread count, capped at 16), halved until every shard keeps
+  // >= 16 frames.
+  const size_t target = BufferPool::DefaultShardTarget();
+  EXPECT_EQ(BufferPool(&fx.dm, 4096).shard_count(), target);
+  size_t expect96 = target;
+  while (expect96 > 1 && 96 / expect96 < 16) expect96 /= 2;
+  EXPECT_EQ(BufferPool(&fx.dm, 96).shard_count(), expect96);
   EXPECT_EQ(BufferPool(&fx.dm, 16).shard_count(), 1u);
   EXPECT_EQ(BufferPool(&fx.dm, 2).shard_count(), 1u);
   // Explicit: rounded up to a power of two, capped at the pool size.
@@ -38,9 +43,13 @@ TEST(BufferPoolShardTest, ShardCountSelection) {
   EXPECT_EQ(BufferPool(&fx.dm, 100, nullptr, 8).pool_size(), 100u);
 }
 
-// With one shard, victim choice must match the old pool: strict global LRU
-// over unpinned frames.
-TEST(BufferPoolShardTest, SingleShardKeepsGlobalLruVictimOrder) {
+// With one shard, victim choice follows unpin order over unpinned frames.
+// The LRU is advisory since the lock-free read path landed: a clean hit
+// resolved through the resident index deliberately does NOT promote the
+// frame (that would need the shard mutex), so recency is established by
+// dirty unpins and (re)loads, not by reads. A pinned frame is never the
+// victim regardless of list position.
+TEST(BufferPoolShardTest, SingleShardVictimFollowsUnpinOrder) {
   PoolFixture fx;
   BufferPool bp(&fx.dm, 4, nullptr, 1);
   ASSERT_EQ(bp.shard_count(), 1u);
@@ -51,26 +60,95 @@ TEST(BufferPoolShardTest, SingleShardKeepsGlobalLruVictimOrder) {
     ASSERT_TRUE(bp.NewPage(&p[i], &page).ok());
     ASSERT_TRUE(bp.UnpinPage(p[i], true).ok());
   }
-  // Recency now p3 > p2 > p1 > p0; touching p0 makes p1 the LRU victim.
+  // Recency p3 > p2 > p1 > p0. A clean read hit on p0 does not promote it:
+  // p0 stays the victim (the advisory-LRU contract, asserted below).
   Page* page;
   ASSERT_TRUE(bp.FetchPage(p[0], &page).ok());
   ASSERT_TRUE(bp.UnpinPage(p[0], false).ok());
+  // A dirty unpin DOES promote: p1 re-touched moves to the front.
+  ASSERT_TRUE(bp.FetchPage(p[1], &page).ok());
+  ASSERT_TRUE(bp.UnpinPage(p[1], true).ok());
 
   uint64_t misses_before = bp.miss_count();
   PageId extra;
-  ASSERT_TRUE(bp.NewPage(&extra, &page).ok());  // evicts p1
+  ASSERT_TRUE(bp.NewPage(&extra, &page).ok());  // evicts p0, not p1
   ASSERT_TRUE(bp.UnpinPage(extra, false).ok());
 
-  // p0, p2, p3 still resident ...
-  for (PageId pid : {p[0], p[2], p[3]}) {
+  // p1, p2, p3 still resident ...
+  for (PageId pid : {p[1], p[2], p[3]}) {
     ASSERT_TRUE(bp.FetchPage(pid, &page).ok());
     ASSERT_TRUE(bp.UnpinPage(pid, false).ok());
   }
   EXPECT_EQ(bp.miss_count(), misses_before);
-  // ... and p1 is the one that was evicted.
-  ASSERT_TRUE(bp.FetchPage(p[1], &page).ok());
-  ASSERT_TRUE(bp.UnpinPage(p[1], false).ok());
+  // ... and p0 is the one that was evicted.
+  ASSERT_TRUE(bp.FetchPage(p[0], &page).ok());
+  ASSERT_TRUE(bp.UnpinPage(p[0], false).ok());
   EXPECT_EQ(bp.miss_count(), misses_before + 1);
+
+  // A pinned frame is never the victim: pin p1 and churn the other three.
+  Page* pinned;
+  ASSERT_TRUE(bp.FetchPage(p[1], &pinned).ok());
+  for (int i = 0; i < 3; ++i) {
+    PageId churn;
+    ASSERT_TRUE(bp.NewPage(&churn, &page).ok());
+    ASSERT_TRUE(bp.UnpinPage(churn, false).ok());
+  }
+  uint64_t before_pinned = bp.miss_count();
+  ASSERT_TRUE(bp.FetchPage(p[1], &page).ok());
+  EXPECT_EQ(bp.miss_count(), before_pinned);  // still resident
+  ASSERT_TRUE(bp.UnpinPage(p[1], false).ok());
+  ASSERT_TRUE(bp.UnpinPage(p[1], false).ok());
+}
+
+// Regression: installing a page runs page_table[pid] = frame BEFORE the
+// resident-index insert, so when that insert triggers a tombstone-threshold
+// rebuild, the rebuild already re-creates the pid's entry from page_table —
+// and a blind "first empty or tombstone slot" insert would then add a
+// second one. ShardIndexErase only tombstones the first match, so the
+// duplicate survived eviction and kept resolving the pid to a frame that
+// had been recycled for another page: the lock-free fetch path returned
+// foreign bytes for the pid. The insert must be idempotent.
+TEST(BufferPoolShardTest, ReusedPidKeepsSingleIndexEntry) {
+  PoolFixture fx;
+  BufferPool bp(&fx.dm, 4, nullptr, 1);  // index cap 8, rebuild at 3 tombstones
+  ASSERT_EQ(bp.shard_count(), 1u);
+
+  PageId p[4];
+  Page* page;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(bp.NewPage(&p[i], &page).ok());
+    ASSERT_TRUE(bp.UnpinPage(p[i], true).ok());
+  }
+  // Three deletes leave three tombstones: the next index insert rebuilds.
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(bp.DeletePage(p[i]).ok());
+
+  // Reuses pid p[0]; the install's index insert fires the rebuild, which
+  // re-creates this pid's entry from page_table before the insert runs.
+  PageId reused;
+  ASSERT_TRUE(bp.NewPage(&reused, &page).ok());
+  ASSERT_EQ(reused, p[0]);
+  page->data()[64] = 'Z';
+  ASSERT_TRUE(bp.UnpinPage(reused, true).ok());
+
+  // Refill the pool, then make `reused` the eviction victim.
+  PageId fill[2];
+  for (PageId& f : fill) {
+    ASSERT_TRUE(bp.NewPage(&f, &page).ok());
+    ASSERT_TRUE(bp.UnpinPage(f, true).ok());
+  }
+  ASSERT_TRUE(bp.FetchPage(p[3], &page).ok());
+  ASSERT_TRUE(bp.UnpinPage(p[3], true).ok());  // promote: reused is now LRU
+
+  // Evicting `reused` erases its index entry; with a duplicate left behind,
+  // the stale one would now resolve `reused` to this recycled frame.
+  PageId evictor;
+  ASSERT_TRUE(bp.NewPage(&evictor, &page).ok());
+  ASSERT_TRUE(bp.UnpinPage(evictor, false).ok());
+
+  ASSERT_TRUE(bp.FetchPage(reused, &page).ok());
+  EXPECT_EQ(page->header_page_id(), reused);
+  EXPECT_EQ(page->data()[64], 'Z');
+  ASSERT_TRUE(bp.UnpinPage(reused, false).ok());
 }
 
 TEST(BufferPoolShardTest, SingleShardDeferredDeallocGating) {
@@ -190,7 +268,9 @@ TEST(BufferPoolShardTest, DeferredDeallocGatesAcrossShards) {
 TEST(BufferPoolShardTest, ConcurrentShardStress) {
   PoolFixture fx;
   // 128 frames vs a 256-page working set: constant eviction traffic.
-  BufferPool bp(&fx.dm, 128);
+  // Explicit 8 shards: the auto default is machine-dependent now, and this
+  // test is about cross-shard interleavings.
+  BufferPool bp(&fx.dm, 128, nullptr, 8);
   ASSERT_EQ(bp.shard_count(), 8u);
 
   constexpr int kFixedPages = 256;
@@ -228,6 +308,9 @@ TEST(BufferPoolShardTest, ConcurrentShardStress) {
           Status s = bp.FetchPage(pid, &page);
           ++my_fetches;
           if (s.ok()) {
+            // Identity check: a pinned frame must hold the requested page
+            // (a stale resident-index entry once broke this).
+            if (page->header_page_id() != pid) failed = true;
             bp.UnpinPage(pid, rng.Bernoulli(0.25));
           } else if (!s.IsBusy()) {
             failed = true;  // Busy = shard transiently pinned full, tolerated

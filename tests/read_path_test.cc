@@ -1,0 +1,266 @@
+// Read-path tests: the latch-free optimistic path must be invisible in
+// results (identical answers to the S-lock protocol, against a shadow map)
+// and invisible in lock traces when switched off — optimistic_reads=false
+// takes exactly the Table-1 locks the pre-optimistic reader took.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/btree/iterator.h"
+#include "src/db/database.h"
+#include "src/sim/workload.h"
+#include "src/txn/lock_manager.h"
+#include "src/util/coding.h"
+#include "src/util/random.h"
+
+namespace soreorg {
+namespace {
+
+const char* EventName(LockEvent e) {
+  switch (e) {
+    case LockEvent::kRequest: return "request";
+    case LockEvent::kWait: return "wait";
+    case LockEvent::kGranted: return "granted";
+    case LockEvent::kInstantGranted: return "instant-granted";
+    case LockEvent::kBusy: return "busy";
+    case LockEvent::kBackoff: return "backoff";
+    case LockEvent::kDeadlock: return "deadlock";
+    case LockEvent::kTimeout: return "timeout";
+    case LockEvent::kUnlock: return "unlock";
+    case LockEvent::kReleaseAll: return "release-all";
+  }
+  return "?";
+}
+
+std::string EventString(LockEvent e, const LockName& name, LockMode mode) {
+  return std::string(EventName(e)) + ":" +
+         std::to_string(static_cast<int>(name.space)) + "/" +
+         std::to_string(name.id) + ":" + LockModeName(mode);
+}
+
+struct Fixture {
+  MemEnv env;
+  std::unique_ptr<Database> db;
+  std::map<std::string, std::string> shadow;
+
+  explicit Fixture(bool optimistic, uint64_t n = 500) {
+    DatabaseOptions options;
+    options.optimistic_reads = optimistic;
+    EXPECT_TRUE(Database::Open(&env, options, &db).ok());
+    Random rng(99);
+    for (uint64_t i = 0; i < n; ++i) {
+      std::string key = EncodeU64Key(i * 10);
+      std::string value = "v" + std::to_string(rng.Next());
+      EXPECT_TRUE(db->Put(key, value).ok());
+      shadow[key] = value;
+    }
+    // A few deletes so missing keys exercise the not-found path.
+    for (uint64_t i = 0; i < n; i += 7) {
+      std::string key = EncodeU64Key(i * 10);
+      EXPECT_TRUE(db->Delete(key).ok());
+      shadow.erase(key);
+    }
+  }
+};
+
+// Every Get — present, deleted, and never-inserted keys — answers exactly
+// what the shadow map says, and the optimistic path actually served them.
+TEST(ReadPathTest, OptimisticGetsMatchShadowMap) {
+  Fixture fx(/*optimistic=*/true);
+  for (uint64_t i = 0; i < 520; ++i) {
+    std::string key = EncodeU64Key(i * 10);
+    std::string value;
+    Status s = fx.db->Get(key, &value);
+    auto it = fx.shadow.find(key);
+    if (it != fx.shadow.end()) {
+      ASSERT_TRUE(s.ok()) << s.ToString() << " key " << i;
+      EXPECT_EQ(value, it->second) << "key " << i;
+    } else {
+      EXPECT_TRUE(s.IsNotFound()) << s.ToString() << " key " << i;
+    }
+  }
+  ReadPathStats st = fx.db->tree()->read_path_stats();
+  EXPECT_GT(st.optimistic_gets, 0u);
+}
+
+// Scans through the iterator (which uses the optimistic batch path) return
+// the same records in the same order as the shadow map.
+TEST(ReadPathTest, OptimisticScanMatchesShadowMap) {
+  Fixture fx(/*optimistic=*/true);
+  std::vector<std::pair<std::string, std::string>> seen;
+  Status s = fx.db->Scan("", "", [&](const Slice& k, const Slice& v) {
+    seen.emplace_back(k.ToString(), v.ToString());
+    return true;
+  });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(seen.size(), fx.shadow.size());
+  auto it = fx.shadow.begin();
+  for (size_t i = 0; i < seen.size(); ++i, ++it) {
+    EXPECT_EQ(seen[i].first, it->first);
+    EXPECT_EQ(seen[i].second, it->second);
+  }
+  ReadPathStats st = fx.db->tree()->read_path_stats();
+  EXPECT_GT(st.optimistic_batches, 0u);
+}
+
+// Same answers with the path off; no optimistic read ever runs.
+TEST(ReadPathTest, DisabledPathMatchesShadowMapAndStaysCold) {
+  Fixture fx(/*optimistic=*/false);
+  for (uint64_t i = 0; i < 520; ++i) {
+    std::string key = EncodeU64Key(i * 10);
+    std::string value;
+    Status s = fx.db->Get(key, &value);
+    auto it = fx.shadow.find(key);
+    if (it != fx.shadow.end()) {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      EXPECT_EQ(value, it->second);
+    } else {
+      EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+    }
+  }
+  std::string value;
+  (void)fx.db->Scan("", "", [](const Slice&, const Slice&) { return true; });
+  ReadPathStats st = fx.db->tree()->read_path_stats();
+  EXPECT_EQ(st.optimistic_gets, 0u);
+  EXPECT_EQ(st.optimistic_batches, 0u);
+  EXPECT_EQ(st.fallbacks, 0u);
+}
+
+// The trace property behind "off reproduces today's behaviour": a
+// single-threaded Get sequence with optimistic_reads=false produces a
+// deterministic lock-event trace (two identically built databases agree
+// event for event), and that trace contains the Table-1 reader protocol —
+// tree IS grants and page S grants. With the path on, the same sequence
+// emits no lock events at all once the working set is resident.
+TEST(ReadPathTest, DisabledTraceIsDeterministicAndOptimisticTraceIsEmpty) {
+  auto run = [](bool optimistic) {
+    Fixture fx(optimistic);
+    // Warm everything (faults pages in, possibly taking locks) before the
+    // recorded window.
+    std::string value;
+    for (uint64_t i = 0; i < 520; ++i) {
+      (void)fx.db->Get(EncodeU64Key(i * 10), &value);
+    }
+    std::vector<std::string> trace;
+    fx.db->lock_manager()->SetEventHook(
+        [&trace](LockEvent e, TxnId, const LockName& name, LockMode mode) {
+          trace.push_back(EventString(e, name, mode));
+        });
+    for (uint64_t i = 0; i < 520; ++i) {
+      (void)fx.db->Get(EncodeU64Key(i * 10), &value);
+    }
+    fx.db->lock_manager()->SetEventHook(nullptr);
+    return trace;
+  };
+
+  std::vector<std::string> off1 = run(false);
+  std::vector<std::string> off2 = run(false);
+  EXPECT_EQ(off1, off2);
+  ASSERT_FALSE(off1.empty());
+  bool saw_tree_is = false, saw_page_s = false;
+  for (const std::string& e : off1) {
+    if (e.starts_with("granted:0/") && e.ends_with(":IS")) saw_tree_is = true;
+    if (e.starts_with("granted:1/") && e.ends_with(":S") &&
+        !e.ends_with(":IS") && !e.ends_with(":RS")) {
+      saw_page_s = true;
+    }
+  }
+  EXPECT_TRUE(saw_tree_is);
+  EXPECT_TRUE(saw_page_s);
+
+  std::vector<std::string> on = run(true);
+  EXPECT_TRUE(on.empty()) << "first stray event: " << on[0];
+}
+
+// PageSharedReadBlocked: the lock-free signal optimistic readers consult.
+// Exactly the modes incompatible with S (X, IX, RX) mark a page; S, R and
+// IS do not; every release path (Unlock, Downgrade, ReleaseAll) clears.
+TEST(ReadPathTest, PageSharedReadBlockedFollowsHolders) {
+  LockManager lm;
+  constexpr TxnId kT1 = 71;
+  const uint32_t pid = 5;
+
+  EXPECT_FALSE(lm.PageSharedReadBlocked(pid));
+
+  ASSERT_TRUE(lm.Lock(kT1, PageLock(pid), LockMode::kS).ok());
+  EXPECT_FALSE(lm.PageSharedReadBlocked(pid));
+  ASSERT_TRUE(lm.Unlock(kT1, PageLock(pid)).ok());
+
+  ASSERT_TRUE(lm.Lock(kT1, PageLock(pid), LockMode::kIS).ok());
+  EXPECT_FALSE(lm.PageSharedReadBlocked(pid));
+  ASSERT_TRUE(lm.Unlock(kT1, PageLock(pid)).ok());
+
+  ASSERT_TRUE(lm.Lock(kReorgTxnId, PageLock(pid), LockMode::kR).ok());
+  EXPECT_FALSE(lm.PageSharedReadBlocked(pid));
+  lm.ReleaseAll(kReorgTxnId);
+
+  ASSERT_TRUE(lm.Lock(kT1, PageLock(pid), LockMode::kX).ok());
+  EXPECT_TRUE(lm.PageSharedReadBlocked(pid));
+  ASSERT_TRUE(lm.Unlock(kT1, PageLock(pid)).ok());
+  EXPECT_FALSE(lm.PageSharedReadBlocked(pid));
+
+  ASSERT_TRUE(lm.Lock(kT1, PageLock(pid), LockMode::kIX).ok());
+  EXPECT_TRUE(lm.PageSharedReadBlocked(pid));
+  lm.ReleaseAll(kT1);
+  EXPECT_FALSE(lm.PageSharedReadBlocked(pid));
+
+  ASSERT_TRUE(lm.Lock(kReorgTxnId, PageLock(pid), LockMode::kRX).ok());
+  EXPECT_TRUE(lm.PageSharedReadBlocked(pid));
+  lm.ReleaseAll(kReorgTxnId);
+  EXPECT_FALSE(lm.PageSharedReadBlocked(pid));
+
+  // Conversion down: an X holder downgrading to S unmarks the page.
+  ASSERT_TRUE(lm.Lock(kT1, PageLock(pid), LockMode::kX).ok());
+  EXPECT_TRUE(lm.PageSharedReadBlocked(pid));
+  ASSERT_TRUE(lm.Downgrade(kT1, PageLock(pid), LockMode::kS).ok());
+  EXPECT_FALSE(lm.PageSharedReadBlocked(pid));
+  lm.ReleaseAll(kT1);
+
+  // Two marking holders (IX + IX are compatible): the mark clears only when
+  // the last one goes.
+  ASSERT_TRUE(lm.Lock(kT1, PageLock(pid), LockMode::kIX).ok());
+  ASSERT_TRUE(lm.Lock(kT1 + 1, PageLock(pid), LockMode::kIX).ok());
+  EXPECT_TRUE(lm.PageSharedReadBlocked(pid));
+  lm.ReleaseAll(kT1);
+  EXPECT_TRUE(lm.PageSharedReadBlocked(pid));
+  lm.ReleaseAll(kT1 + 1);
+  EXPECT_FALSE(lm.PageSharedReadBlocked(pid));
+}
+
+// While an updater holds its (uncommitted) X page locks, an optimistic
+// reader must fall back rather than serve a dirty image. Single-threaded
+// deterministic variant: mark the leaf the way an updater's X lock would,
+// then confirm the Get still answers — through the fallback path.
+TEST(ReadPathTest, MarkedLeafForcesFallback) {
+  Fixture fx(/*optimistic=*/true);
+  std::string value;
+  // Warm so the descent would otherwise stay optimistic.
+  ASSERT_TRUE(fx.db->Get(EncodeU64Key(10), &value).ok());
+  ReadPathStats before = fx.db->tree()->read_path_stats();
+
+  // Find the leaf holding key 10 and mark it via a real X page lock.
+  BTreeIterator it(fx.db->tree(), nullptr);
+  ASSERT_TRUE(it.Seek(EncodeU64Key(10)).ok());
+  ASSERT_FALSE(it.leaf_trail().empty());
+  PageId leaf = it.leaf_trail().front();
+  constexpr TxnId kBlocker = 4242;
+  ASSERT_TRUE(
+      fx.db->lock_manager()->Lock(kBlocker, PageLock(leaf), LockMode::kX).ok());
+
+  // The locked fallback path would wait forever behind the X lock, so probe
+  // only the optimistic layer directly: every restart must refuse.
+  BTree::OptimisticDescent d;
+  EXPECT_FALSE(fx.db->tree()->OptimisticDescend(EncodeU64Key(10), &d));
+
+  fx.db->lock_manager()->ReleaseAll(kBlocker);
+  ASSERT_TRUE(fx.db->Get(EncodeU64Key(10), &value).ok());
+  ReadPathStats after = fx.db->tree()->read_path_stats();
+  EXPECT_GT(after.optimistic_gets, before.optimistic_gets);
+}
+
+}  // namespace
+}  // namespace soreorg
