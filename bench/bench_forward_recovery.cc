@@ -78,10 +78,11 @@ CrashResult RunOne(RecoveryPolicy policy, int crash_at) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Header("E4: Forward Recovery vs rollback (§5.1)",
          "\"The reorganization unit will be able to finish the work instead "
          "of rolling back and wasting the work that has already been done\"");
+  JsonReporter json("bench_forward_recovery", argc, argv);
 
   std::printf("%-10s %-10s %10s %10s %16s %18s %12s\n", "crash@", "policy",
               "unit open", "LK after", "leaves @restart", "moved to finish",
@@ -101,11 +102,18 @@ int main() {
                   (unsigned long long)r.leaves_after_restart,
                   (unsigned long long)r.moved_after_restart,
                   r.recovery_secs);
+      std::string prefix =
+          "e4/wal" + std::to_string(crash_at) + "/" +
+          (policy == RecoveryPolicy::kForward ? "forward" : "rollback");
+      json.Add(prefix + "/lk", static_cast<double>(r.lk), "key");
+      json.Add(prefix + "/moved_to_finish",
+               static_cast<double>(r.moved_after_restart), "records");
+      json.Add(prefix + "/recovery_s", r.recovery_secs, "s");
     }
   }
   std::printf("\nexpected shape: with forward recovery the interrupted "
               "unit's work is kept\n(LK is ahead, fewer leaves remain, less "
               "moving left to finish); rollback\ndiscards the open unit's "
               "moves and re-does them.\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

@@ -7,13 +7,15 @@
 using namespace soreorg;
 using namespace soreorg::bench;
 
-int main() {
+int main(int argc, char** argv) {
   Header("F2: leaf-pass main loop (Figure 2)",
          "\"Find-Free-Space will see if there is a good empty page ... If "
          "so, we call Copying-Switching ... If not, In-Place-Reorg is "
          "called\"; on average d = ceil(f2/f1) pages compact per unit");
+  JsonReporter json("bench_leaf_pass", argc, argv);
 
   const uint64_t kN = 30000;
+  int scenario_idx = 0;
 
   std::printf("%-34s %8s %8s %8s %10s %12s\n", "scenario", "units",
               "in-place", "copy-sw", "d (avg)", "rec moved");
@@ -55,8 +57,18 @@ int main() {
                 (unsigned long long)rs.compact_units,
                 (unsigned long long)rs.move_units, d,
                 (unsigned long long)rs.records_moved);
+
+    std::string prefix = "f2/scenario" + std::to_string(scenario_idx++);
+    json.Add(prefix + "/units", static_cast<double>(rs.units), "units");
+    json.Add(prefix + "/in_place", static_cast<double>(rs.compact_units),
+             "units");
+    json.Add(prefix + "/copy_switch", static_cast<double>(rs.move_units),
+             "units");
+    json.Add(prefix + "/d_avg", d, "pages/unit");
+    json.Add(prefix + "/records_moved", static_cast<double>(rs.records_moved),
+             "records");
   }
   std::printf("\nexpected shape: more holes => more copy-switch units; "
               "lower f1 (sparser) => larger d per unit.\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

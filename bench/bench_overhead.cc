@@ -12,11 +12,12 @@
 using namespace soreorg;
 using namespace soreorg::bench;
 
-int main() {
+int main(int argc, char** argv) {
   Header("E7: unit granularity and transaction overhead (§8 vs Smith '90)",
          "Smith: 2 blocks per operation, one transaction each; paper: "
          "d = ceil(f2/f1) pages per unit, one background process, no "
          "commit per unit");
+  JsonReporter json("bench_overhead", argc, argv);
 
   const uint64_t kN = 30000;
   std::printf("%-10s %-10s %10s %10s %12s %12s %14s %12s\n", "sparsity",
@@ -24,6 +25,8 @@ int main() {
               "log records", "log bytes");
 
   for (double del : {0.6, 0.8}) {
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "e7/del%.0f", del * 100);
     // Paper method (compaction only, for apples-to-apples with merges).
     {
       MemEnv env;
@@ -44,6 +47,18 @@ int main() {
                   (unsigned long long)db->lock_manager()->stats().acquisitions,
                   (unsigned long long)db->log_manager()->records_appended(),
                   (unsigned long long)db->log_manager()->bytes_appended());
+      json.Add(std::string(prefix) + "/paper/units",
+               static_cast<double>(rs.units), "units");
+      json.Add(std::string(prefix) + "/paper/commits",
+               static_cast<double>(db->txn_manager()->commits() -
+                                   commits_before),
+               "commits");
+      json.Add(std::string(prefix) + "/paper/lock_acqs",
+               static_cast<double>(db->lock_manager()->stats().acquisitions),
+               "locks");
+      json.Add(std::string(prefix) + "/paper/log_bytes",
+               static_cast<double>(db->log_manager()->bytes_appended()),
+               "bytes");
     }
     // Smith baseline (merges only).
     {
@@ -69,11 +84,23 @@ int main() {
                   (unsigned long long)db->lock_manager()->stats().acquisitions,
                   (unsigned long long)db->log_manager()->records_appended(),
                   (unsigned long long)db->log_manager()->bytes_appended());
+      json.Add(std::string(prefix) + "/smith/units",
+               static_cast<double>(smith.unit_stats().units), "units");
+      json.Add(std::string(prefix) + "/smith/commits",
+               static_cast<double>(db->txn_manager()->commits() -
+                                   commits_before),
+               "commits");
+      json.Add(std::string(prefix) + "/smith/lock_acqs",
+               static_cast<double>(db->lock_manager()->stats().acquisitions),
+               "locks");
+      json.Add(std::string(prefix) + "/smith/log_bytes",
+               static_cast<double>(db->log_manager()->bytes_appended()),
+               "bytes");
     }
     std::printf("\n");
   }
   std::printf("expected shape: Smith needs several times more units (2-block "
               "granularity),\none commit per unit, more lock acquisitions, "
               "and a larger log (full-content\nMOVE records).\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

@@ -52,11 +52,12 @@ ScanCost ShortScans(Database* db, DiskModel* model, uint64_t key_space) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Header("E5: range-scan cost through the passes (§2 motivation)",
          "sparse trees need more page reads for the same data; compacted "
          "but out-of-order leaves pay seeks; ordering restores sequential "
          "I/O");
+  JsonReporter json("bench_range_scan", argc, argv);
 
   const uint64_t kN = 30000;
   for (double del : {0.6, 0.75}) {
@@ -80,27 +81,35 @@ int main() {
                 survivors.size());
     std::printf("  %-18s %14s %12s %10s %16s %12s\n", "stage", "scan reads",
                 "scan ms", "seq frac", "200x100 reads", "ms");
-    auto row = [&](const char* stage) {
+    char cfg[32];
+    std::snprintf(cfg, sizeof(cfg), "e5/del%.0f", del * 100);
+    auto row = [&](const char* stage, const char* slug) {
       ScanCost f = FullScan(db.get(), &model);
       ScanCost s = ShortScans(db.get(), &model, kN);
       std::printf("  %-18s %14llu %12.1f %10.2f %16llu %12.1f\n", stage,
                   (unsigned long long)f.reads, f.ms, f.seq_frac,
                   (unsigned long long)s.reads, s.ms);
+      std::string prefix = std::string(cfg) + "/" + slug;
+      json.Add(prefix + "/scan_reads", static_cast<double>(f.reads),
+               "reads");
+      json.Add(prefix + "/scan_ms", f.ms, "ms");
+      json.Add(prefix + "/seq_frac", f.seq_frac, "fraction");
+      json.Add(prefix + "/short_ms", s.ms, "ms");
     };
-    row("degraded");
+    row("degraded", "degraded");
     db->reorganizer()->RunLeafPass();
     Check(db.get(), "p1");
-    row("after pass 1");
+    row("after pass 1", "pass1");
     db->reorganizer()->RunSwapPass();
     Check(db.get(), "p2");
-    row("after pass 2");
+    row("after pass 2", "pass2");
     db->reorganizer()->RunInternalPass();
     Check(db.get(), "p3");
-    row("after pass 3");
+    row("after pass 3", "pass3");
     std::printf("\n");
   }
   std::printf("expected shape: pass 1 cuts page reads ~(f2/f1)x; pass 2 "
               "restores the\nsequential fraction and cuts simulated time; "
               "pass 3 trims a few internal reads.\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

@@ -10,11 +10,12 @@
 using namespace soreorg;
 using namespace soreorg::bench;
 
-int main() {
+int main(int argc, char** argv) {
   Header("E6: tree shrink + switch window (§7)",
          "internal reorganization S-locks one base page at a time; only the "
          "switch blocks base-page updaters, briefly; old upper levels are "
          "reclaimed after old transactions drain");
+  JsonReporter json("bench_shrink_switch", argc, argv);
 
   std::printf("%-12s %18s %18s %12s %14s\n", "records", "before h/int",
               "after h/int", "discarded", "switch ms");
@@ -37,6 +38,12 @@ int main() {
     std::printf("%-12llu %18s %18s %12llu %14.3f\n", (unsigned long long)n, b,
                 a, (unsigned long long)sw.old_pages_discarded,
                 sw.switch_window_ns / 1e6);
+    std::string prefix = "e6/n" + std::to_string(n);
+    json.Add(prefix + "/internal_before",
+             static_cast<double>(before.internal_pages), "pages");
+    json.Add(prefix + "/internal_after",
+             static_cast<double>(after.internal_pages), "pages");
+    json.Add(prefix + "/switch_ms", sw.switch_window_ns / 1e6, "ms");
   }
 
   // Switch window with live updaters: measure the worst-case updater stall
@@ -79,9 +86,14 @@ int main() {
                 (unsigned long long)sw.final_catchup_entries,
                 (unsigned long long)writes.load(),
                 (unsigned long long)max_lat_us.load());
+    json.Add("e6/live/switch_ms", sw.switch_window_ns / 1e6, "ms");
+    json.Add("e6/live/writes", static_cast<double>(writes.load()), "writes",
+             2);
+    json.Add("e6/live/max_updater_latency_us",
+             static_cast<double>(max_lat_us.load()), "us", 2);
   }
   std::printf("\nexpected shape: internal pages and (at these sizes) height "
               "drop; the switch\nwindow is milliseconds — the only blocking "
               "the whole pass imposes on updaters.\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

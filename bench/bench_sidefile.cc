@@ -14,11 +14,12 @@
 using namespace soreorg;
 using namespace soreorg::bench;
 
-int main() {
+int main(int argc, char** argv) {
   Header("E8: side-file catch-up under concurrent updates (§7.1–7.2)",
          "updates behind CK go to the side file; catch-up drains it; the "
          "switch's final catch-up handles only the few entries recorded "
          "while waiting for the X lock");
+  JsonReporter json("bench_sidefile", argc, argv);
 
   const uint64_t kN = 120000;
   // Slow the builder down to disk speed so the build window is long enough
@@ -82,10 +83,21 @@ int main() {
                 (unsigned long long)rs.side_entries_applied,
                 (unsigned long long)sw.final_catchup_entries,
                 sw.switch_window_ns / 1e6, converged ? "yes" : "NO");
+    std::string prefix = "e8/updaters" + std::to_string(threads);
+    json.Add(prefix + "/recorded",
+             static_cast<double>(db->side_file()->total_recorded() -
+                                 recorded_before),
+             "entries", threads);
+    json.Add(prefix + "/final_catchup",
+             static_cast<double>(sw.final_catchup_entries), "entries",
+             threads);
+    json.Add(prefix + "/switch_ms", sw.switch_window_ns / 1e6, "ms",
+             threads);
+    json.Add(prefix + "/converged", converged ? 1.0 : 0.0, "bool", threads);
   }
   std::printf("\nexpected shape: recorded entries grow with update pressure "
               "but catch-up always\nconverges; the final (X-locked) "
               "catch-up stays small because most entries are\napplied "
               "before the switch begins.\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

@@ -34,10 +34,11 @@ double AscFraction(Database* db) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Header("E1: Find-Free-Space heuristic vs pass-2 swaps (§6.1)",
          "choosing the first empty page after L and before C \"can greatly "
          "reduce the number of swaps needed at the second pass\"");
+  JsonReporter json("bench_swap_heuristic", argc, argv);
 
   const uint64_t kN = 50000;
   std::printf("%-10s %-20s %12s %8s %8s %14s\n", "churn", "policy",
@@ -92,6 +93,21 @@ int main() {
                   (unsigned long long)(rs.move_units - p1_moves),
                   (unsigned long long)db->log_manager()->bytes_for_type(
                       LogType::kReorgMove));
+
+      const char* slug = p.policy == FreeSpacePolicy::kPaperHeuristic
+                             ? "paper"
+                             : (p.policy == FreeSpacePolicy::kFirstFitAnywhere
+                                    ? "firstfit"
+                                    : "none");
+      std::string prefix =
+          "e1/churn" + std::to_string(churn) + "/" + slug;
+      json.Add(prefix + "/order_after_p1", order_after_p1, "fraction");
+      json.Add(prefix + "/swaps", static_cast<double>(rs.swap_units),
+               "swaps");
+      json.Add(prefix + "/swap_log_bytes",
+               static_cast<double>(
+                   db->log_manager()->bytes_for_type(LogType::kReorgMove)),
+               "bytes");
     }
     std::printf("\n");
   }
@@ -102,5 +118,5 @@ int main() {
       "relative key order.\nThe in-place-only reference trades those swaps "
       "for extra moves and gives up\nnew-place's concurrency advantages "
       "(\u00a76.1).\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

@@ -33,11 +33,12 @@ void Row(const char* stage, Database* db, double secs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   Header("F1: the three-pass algorithm (Figure 1)",
          "pass 1 compacts sparse leaves; pass 2 puts them in key order on "
          "disk; pass 3 shrinks the tree by rebuilding the upper levels "
          "new-place and switching");
+  JsonReporter json("bench_three_pass", argc, argv);
 
   const uint64_t kN = 40000;
   for (double f : {0.5, 0.7, 0.85}) {
@@ -51,16 +52,19 @@ int main() {
     db->reorganizer()->RunLeafPass();
     Row("pass 1 compact", db.get(), t1.Seconds());
     Check(db.get(), "pass 1");
+    double pass1_s = t1.Seconds();
 
     Timer t2;
     db->reorganizer()->RunSwapPass();
     Row("pass 2 order", db.get(), t2.Seconds());
     Check(db.get(), "pass 2");
+    double pass2_s = t2.Seconds();
 
     Timer t3;
     db->reorganizer()->RunInternalPass();
     Row("pass 3 shrink", db.get(), t3.Seconds());
     Check(db.get(), "pass 3");
+    double pass3_s = t3.Seconds();
 
     const ReorgStats& rs = db->reorganizer()->stats();
     std::printf("  units: %llu compact, %llu move, %llu swap; %llu records "
@@ -70,6 +74,19 @@ int main() {
                 (unsigned long long)rs.swap_units,
                 (unsigned long long)rs.records_moved,
                 (unsigned long long)rs.pages_freed);
+
+    BTreeStats shape = Shape(db.get());
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "f1/del%.0f", f * 100);
+    json.Add(std::string(prefix) + "/pass1_s", pass1_s, "s");
+    json.Add(std::string(prefix) + "/pass2_s", pass2_s, "s");
+    json.Add(std::string(prefix) + "/pass3_s", pass3_s, "s");
+    json.Add(std::string(prefix) + "/final_fill", shape.avg_leaf_fill,
+             "fraction");
+    json.Add(std::string(prefix) + "/disk_order",
+             DiskOrderFraction(db.get()), "fraction");
+    json.Add(std::string(prefix) + "/pages_freed",
+             static_cast<double>(rs.pages_freed), "pages");
   }
-  return 0;
+  return json.Write() ? 0 : 1;
 }

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate reorg-induced tail latency against the committed YCSB baseline.
+
+Usage: check_ycsb_regression.py <fresh.json> <committed.json>
+
+Raw latencies from a CI runner are not comparable to the machine that
+recorded the committed BENCH_ycsb.json, so the gate compares the one number
+machine speed divides out of: p99_active / p99_quiesced per (mix, partitions)
+cell — how much the reorganizer's presence stretches the p99 tail, with both
+phases measured back-to-back in the same process on the same machine. A real
+isolation regression (reorg holding locks too long, step-aside not yielding,
+executor lanes blocked on reorg work) inflates that ratio wherever it runs.
+
+The threshold is deliberately generous (3x the committed ratio, and ratios
+under 2.0 always pass): CI runners are 1-2 CPU machines where a background
+reorganizer legitimately steals half the machine, and the quiesced p99 on a
+fast cell is a few microseconds, so small absolute wobbles produce large
+ratio wobbles. The gate exists to catch order-of-magnitude isolation
+failures, not to police noise. Any cell with op failures fails outright.
+"""
+
+import json
+import sys
+
+RATIO_SLACK = 3.0    # fresh ratio may be up to 3x the committed ratio
+ALWAYS_OK = 2.0      # a tail stretch under 2x passes regardless of baseline
+
+MIXES = ("read_heavy", "rmw", "scan")
+
+
+def metrics(doc):
+    return {m["name"]: float(m["value"]) for m in doc["metrics"]}
+
+
+def cells(doc):
+    """Yield (mix, P) cells present in the document."""
+    names = metrics(doc)
+    out = []
+    for mix in MIXES:
+        for name in names:
+            if name.startswith(mix + ".p") and name.endswith(".active.p99_us"):
+                part = name[len(mix) + 1:-len(".active.p99_us")]
+                out.append((mix, part))
+    return sorted(set(out))
+
+
+def ratio(names, mix, part):
+    active = names[f"{mix}.{part}.active.p99_us"]
+    quiesced = names[f"{mix}.{part}.quiesced.p99_us"]
+    if quiesced <= 0:
+        raise SystemExit(f"FAIL: nonpositive quiesced p99 in {mix}.{part}")
+    return active / quiesced
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        committed = json.load(f)
+
+    fresh_names = metrics(fresh)
+    committed_names = metrics(committed)
+    fresh_cells = cells(fresh)
+    if not fresh_cells:
+        raise SystemExit("FAIL: no (mix, partitions) cells in fresh run")
+
+    failures = []
+    for mix, part in fresh_cells:
+        for phase in ("quiesced", "active"):
+            ops_failed = fresh_names.get(f"{mix}.{part}.{phase}.failures", 0)
+            if ops_failed > 0:
+                failures.append(f"{mix}.{part}.{phase}: {ops_failed:.0f} "
+                                "op failures")
+
+        fresh_ratio = ratio(fresh_names, mix, part)
+        key = f"{mix}.{part}.active.p99_us"
+        if key not in committed_names:
+            print(f"{mix}.{part}: tail stretch {fresh_ratio:.2f}x "
+                  "(no committed baseline, absolute cap only)")
+            ceiling = None
+        else:
+            committed_ratio = ratio(committed_names, mix, part)
+            ceiling = committed_ratio * RATIO_SLACK
+            print(f"{mix}.{part}: tail stretch fresh={fresh_ratio:.2f}x "
+                  f"committed={committed_ratio:.2f}x ceiling={ceiling:.2f}x")
+        if fresh_ratio <= ALWAYS_OK:
+            continue
+        if ceiling is not None and fresh_ratio > ceiling:
+            failures.append(f"{mix}.{part}: p99 tail stretch "
+                            f"{fresh_ratio:.2f}x exceeds {ceiling:.2f}x "
+                            "(3x the committed run)")
+
+    if failures:
+        raise SystemExit("FAIL:\n  " + "\n  ".join(failures))
+    print("ycsb reorg-isolation gate ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -573,30 +573,53 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
     release_all();
     return s;
   }
+  // Peek every touched leaf's (count, first key) BEFORE latching the base
+  // page: the unit's page locks (RX on the leaves, X on the base) keep the
+  // leaves byte-stable through step 7, so the values cannot go stale — and
+  // keeping latch acquisition flat (never leaf-under-base) means frame
+  // latches have no nesting order for concurrent reorganizers to invert.
+  struct LeafPeek {
+    bool fetched = false;
+    int cnt = 0;
+    std::string first_key;
+  };
+  auto peek = [&](PageId pid) {
+    LeafPeek pk;
+    Page* p;
+    if (!bp->FetchPage(pid, &p).ok()) return pk;
+    {
+      std::shared_lock<PageLatch> slatch(p->latch());
+      LeafNode ln(p);
+      pk.cnt = ln.Count();
+      if (pk.cnt > 0) pk.first_key = ln.KeyAt(0).ToString();
+    }
+    bp->UnpinPage(pid, false);
+    pk.fetched = true;
+    return pk;
+  };
+  std::vector<LeafPeek> src_peeks;
+  src_peeks.reserve(sources.size());
+  for (PageId src : sources) {
+    src_peeks.push_back(src == dest ? LeafPeek{} : peek(src));
+  }
+  LeafPeek dest_peek = in_place ? LeafPeek{} : peek(dest);
+
   std::vector<PageId> now_empty;
   std::vector<PageId> live_sources;
   BufferPool::ApplyScope modify_scope(bp);
   {
     std::unique_lock<PageLatch> latch(base_page->latch());
     InternalNode base(base_page);
-    for (PageId src : sources) {
+    for (size_t i = 0; i < sources.size(); ++i) {
+      PageId src = sources[i];
       if (src == dest) {
         live_sources.push_back(src);
         continue;
       }
-      Page* sp;
-      if (!bp->FetchPage(src, &sp).ok()) continue;
-      int cnt;
-      std::string first_key;
-      {
-        std::shared_lock<PageLatch> slatch(sp->latch());
-        LeafNode sl(sp);
-        cnt = sl.Count();
-        if (cnt > 0) first_key = sl.KeyAt(0).ToString();
-      }
-      bp->UnpinPage(src, false);
+      const LeafPeek& pk = src_peeks[i];
+      if (!pk.fetched) continue;
       int slot = base.FindChildSlot(src);
-      if (cnt == 0) {
+      if (pk.cnt == 0) {
         if (slot >= 0) {
           log_modify(base.KeyAt(slot), src, Slice(), kInvalidPageId,
                      base_page);
@@ -605,28 +628,19 @@ Status LeafCompactor::ExecuteUnitOnce(uint32_t unit, PageId base_pid,
         now_empty.push_back(src);
       } else {
         live_sources.push_back(src);
-        if (slot >= 0 && base.KeyAt(slot).compare(first_key) != 0) {
+        if (slot >= 0 && base.KeyAt(slot).compare(pk.first_key) != 0) {
           std::string old_sep = base.KeyAt(slot).ToString();
-          log_modify(old_sep, src, first_key, src, base_page);
-          base.SetKeyAt(slot, first_key);
+          log_modify(old_sep, src, pk.first_key, src, base_page);
+          base.SetKeyAt(slot, pk.first_key);
         }
       }
     }
-    if (!in_place) {
+    if (!in_place && dest_peek.fetched) {
       // Map the (new) destination into the base page under its first key.
-      Page* dp;
-      if (bp->FetchPage(dest, &dp).ok()) {
-        std::string dest_first;
-        {
-          std::shared_lock<PageLatch> dlatch(dp->latch());
-          LeafNode dl(dp);
-          if (dl.Count() > 0) dest_first = dl.KeyAt(0).ToString();
-        }
-        bp->UnpinPage(dest, false);
-        if (base.FindChildSlot(dest) < 0 && !dest_first.empty()) {
-          log_modify(Slice(), kInvalidPageId, dest_first, dest, base_page);
-          base.Insert(dest_first, dest);
-        }
+      if (base.FindChildSlot(dest) < 0 && !dest_peek.first_key.empty()) {
+        log_modify(Slice(), kInvalidPageId, dest_peek.first_key, dest,
+                   base_page);
+        base.Insert(dest_peek.first_key, dest);
       }
     }
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "src/util/coding.h"
 
@@ -137,23 +138,90 @@ void ConcurrentDriver::Stop() {
   threads_.clear();
 }
 
-size_t ConcurrentDriver::LatBucket(uint64_t ns) {
+size_t LatencyHistogram::Bucket(uint64_t ns) {
   if (ns < 16) return static_cast<size_t>(ns);
   int e = 63 - __builtin_clzll(ns);  // e >= 4
   uint64_t mant = (ns >> (e - 4)) & 15;
   return static_cast<size_t>(e - 3) * 16 + static_cast<size_t>(mant);
 }
 
-uint64_t ConcurrentDriver::LatBucketValue(size_t idx) {
+uint64_t LatencyHistogram::BucketValue(size_t idx) {
   if (idx < 16) return static_cast<uint64_t>(idx);
   int e = static_cast<int>(idx / 16) + 3;
   uint64_t mant = idx % 16;
   return (uint64_t{1} << e) | (mant << (e - 4));
 }
 
+uint64_t LatencyHistogram::Percentile(double q) const {
+  uint64_t counts[kBuckets];
+  uint64_t n = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    n += counts[i];
+  }
+  if (n == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen > rank) return BucketValue(i);
+  }
+  return BucketValue(kBuckets - 1);
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n == 0 ? 1 : n), theta_(theta), rng_(seed) {
+  zetan_ = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  zeta2_ = 1.0 + 1.0 / std::pow(2.0, theta_);
+  RecomputeConstants();
+}
+
+void ZipfianGenerator::RecomputeConstants() {
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+void ZipfianGenerator::Grow(uint64_t new_n) {
+  if (new_n <= n_) return;
+  // Incremental zeta: extend the harmonic-like sum rather than recomputing
+  // from 1 (Advance() runs once per insert in the latest distribution).
+  for (uint64_t i = n_ + 1; i <= new_n; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  n_ = new_n;
+  RecomputeConstants();
+}
+
+uint64_t ZipfianGenerator::Next() {
+  // Gray/Flessner rejection-free inversion, as in the YCSB core generator.
+  double u = static_cast<double>(rng_.Next() >> 11) *
+             (1.0 / 9007199254740992.0);
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  uint64_t item = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return item >= n_ ? n_ - 1 : item;
+}
+
+uint64_t ZipfianGenerator::NextScrambled() {
+  uint64_t v = Next();
+  // fmix64 (murmur3 finalizer) spreads the hot head over the key space.
+  v ^= v >> 33;
+  v *= 0xff51afd7ed558ccdULL;
+  v ^= v >> 33;
+  v *= 0xc4ceb9fe1a85ec53ULL;
+  v ^= v >> 33;
+  return v % n_;
+}
+
 DriverStats ConcurrentDriver::stats() const {
   DriverStats total;
-  uint64_t hist[kLatHistBuckets] = {};
+  LatencyHistogram merged;
   for (const AtomicStats& s : per_thread_) {
     total.ops += s.ops.load(std::memory_order_relaxed);
     total.reads += s.reads.load(std::memory_order_relaxed);
@@ -166,25 +234,12 @@ DriverStats ConcurrentDriver::stats() const {
     total.max_latency_ns =
         std::max(total.max_latency_ns,
                  s.max_latency_ns.load(std::memory_order_relaxed));
-    for (size_t i = 0; i < kLatHistBuckets; ++i) {
-      hist[i] += s.lat_hist[i].load(std::memory_order_relaxed);
-    }
+    merged.MergeFrom(s.lat_hist);
   }
-  uint64_t n = 0;
-  for (uint64_t c : hist) n += c;
-  if (n > 0) {
-    auto percentile = [&](double q) -> uint64_t {
-      uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1));
-      uint64_t seen = 0;
-      for (size_t i = 0; i < kLatHistBuckets; ++i) {
-        seen += hist[i];
-        if (seen > rank) return LatBucketValue(i);
-      }
-      return LatBucketValue(kLatHistBuckets - 1);
-    };
-    total.p50_ns = percentile(0.50);
-    total.p99_ns = percentile(0.99);
-    total.p999_ns = percentile(0.999);
+  if (merged.total_count() > 0) {
+    total.p50_ns = merged.Percentile(0.50);
+    total.p99_ns = merged.Percentile(0.99);
+    total.p999_ns = merged.Percentile(0.999);
   }
   return total;
 }
@@ -242,7 +297,7 @@ void ConcurrentDriver::ThreadMain(int idx) {
             std::chrono::steady_clock::now() - t0)
             .count());
     st.total_latency_ns.fetch_add(dt, std::memory_order_relaxed);
-    st.lat_hist[LatBucket(dt)].fetch_add(1, std::memory_order_relaxed);
+    st.lat_hist.Record(dt);
     uint64_t prev = st.max_latency_ns.load(std::memory_order_relaxed);
     while (dt > prev && !st.max_latency_ns.compare_exchange_weak(
                             prev, dt, std::memory_order_relaxed)) {

@@ -61,6 +61,104 @@ struct AgingOptions {
 Status AgeDatabase(Database* db, const AgingOptions& options,
                    std::vector<uint64_t>* surviving_keys = nullptr);
 
+/// Thread-safe log-bucket latency histogram: 16 sub-buckets per power of two
+/// of nanoseconds (4 mantissa bits, ~1.6% relative resolution), values below
+/// 16 ns exact, 1024 slots covering the full uint64 range. Workers Record()
+/// with relaxed atomics; a measuring thread merges and reads percentiles.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 1024;
+
+  void Record(uint64_t ns) {
+    buckets_[Bucket(ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Adds other's counts into this histogram (relaxed reads — counts are
+  /// consistent per bucket, not across buckets, like ConcurrentDriver
+  /// stats()).
+  void MergeFrom(const LatencyHistogram& other) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+      if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t total_count() const {
+    uint64_t n = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      n += buckets_[i].load(std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  /// Lower edge of the bucket holding the q-quantile; 0 when empty.
+  uint64_t Percentile(double q) const;
+
+  static size_t Bucket(uint64_t ns);
+  static uint64_t BucketValue(size_t idx);
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// YCSB-style zipfian generator over [0, n): item 0 is the hottest, with
+/// P(i) proportional to 1/(i+1)^theta. The zeta normalizer is computed once
+/// at construction and extended incrementally when the item space Grow()s
+/// (the "latest" distribution advances it per insert).
+class ZipfianGenerator {
+ public:
+  static constexpr double kDefaultTheta = 0.99;
+
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  /// Next item, hottest first (0 is the most popular).
+  uint64_t Next();
+  /// Next item scattered over the key space with fmix64 so the hot set is
+  /// not one contiguous key run (YCSB's scrambled zipfian).
+  uint64_t NextScrambled();
+
+  /// Extend the item space to new_n (>= current n).
+  void Grow(uint64_t new_n);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  void RecomputeConstants();
+
+  uint64_t n_;
+  double theta_;
+  double zetan_;   // zeta(n, theta), extended incrementally by Grow
+  double zeta2_;   // zeta(2, theta)
+  double alpha_;
+  double eta_;
+  Random rng_;
+};
+
+/// YCSB's "latest" distribution: the most recently inserted items are the
+/// hottest. Next() returns an item in [0, max), skewed toward max-1;
+/// Advance() records that inserts moved the frontier.
+class LatestGenerator {
+ public:
+  LatestGenerator(uint64_t initial_max, uint64_t seed)
+      : zipf_(initial_max == 0 ? 1 : initial_max,
+              ZipfianGenerator::kDefaultTheta, seed) {}
+
+  uint64_t Next() {
+    uint64_t max = zipf_.n();
+    uint64_t off = zipf_.Next();
+    return max - 1 - off;
+  }
+
+  void Advance(uint64_t new_max) {
+    if (new_max > zipf_.n()) zipf_.Grow(new_max);
+  }
+
+  uint64_t max() const { return zipf_.n(); }
+
+ private:
+  ZipfianGenerator zipf_;
+};
+
 struct DriverOptions {
   int threads = 4;
   double read_fraction = 0.7;
@@ -105,13 +203,6 @@ class ConcurrentDriver {
   DriverStats stats() const;
 
  private:
-  /// Log-bucket latency histogram shape: 16 sub-buckets per power of two of
-  /// nanoseconds (4 mantissa bits), values below 16 ns exact. 1024 slots
-  /// covers the full uint64 range.
-  static constexpr size_t kLatHistBuckets = 1024;
-  static size_t LatBucket(uint64_t ns);
-  static uint64_t LatBucketValue(size_t idx);
-
   // Per-thread slot with atomic counters: worker threads publish with relaxed
   // stores while stats() reads concurrently from the measuring thread.
   struct AtomicStats {
@@ -123,7 +214,7 @@ class ConcurrentDriver {
     std::atomic<uint64_t> failures{0};
     std::atomic<uint64_t> total_latency_ns{0};
     std::atomic<uint64_t> max_latency_ns{0};
-    std::atomic<uint64_t> lat_hist[kLatHistBuckets] = {};
+    LatencyHistogram lat_hist;
   };
 
   void ThreadMain(int idx);

@@ -1,0 +1,373 @@
+// PartitionedDatabase: router totality, cross-partition scan merge against a
+// single shadow map, partitions=1 equivalence with a plain Database, deadline
+// admission, and the concurrent-reorg cap — parameterized over partition
+// counts {1, 4, 16}.
+
+#include "src/db/partitioned_db.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/storage/env.h"
+#include "src/util/coding.h"
+#include "src/util/random.h"
+
+namespace soreorg {
+namespace {
+
+PartitionedDBOptions SmallOptions(size_t partitions) {
+  PartitionedDBOptions o;
+  o.partitions = partitions;
+  o.base.buffer_pool_pages = 256;
+  o.executor.workers = 2;
+  return o;
+}
+
+std::string Val(uint64_t i) { return "v" + std::to_string(i * 7); }
+
+class PartitionedDbTest : public ::testing::TestWithParam<size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Partitions, PartitionedDbTest,
+                         ::testing::Values(1u, 4u, 16u));
+
+// The router is a function: deterministic, in range, and the stored record
+// lands in exactly the routed partition — no other partition sees the key.
+TEST_P(PartitionedDbTest, EveryKeyRoutesToExactlyOnePartition) {
+  const size_t kParts = GetParam();
+  MemEnv env;
+  std::unique_ptr<PartitionedDatabase> pdb;
+  ASSERT_TRUE(PartitionedDatabase::Open(&env, SmallOptions(kParts), &pdb)
+                  .ok());
+
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; i < 200; ++i) keys.push_back(EncodeU64Key(i * 10));
+  keys.push_back("");  // empty key routes too
+  keys.push_back("plain-string-key");
+  keys.push_back(std::string("embedded\0null", 13));
+
+  std::set<size_t> used;
+  for (const std::string& k : keys) {
+    size_t p = pdb->PartitionOf(k);
+    ASSERT_LT(p, kParts);
+    ASSERT_EQ(p, pdb->PartitionOf(k)) << "router must be deterministic";
+    used.insert(p);
+    if (!k.empty()) {
+      ASSERT_TRUE(pdb->Put(k, "x" + k).ok());
+    }
+  }
+  if (kParts > 1) {
+    EXPECT_GT(used.size(), 1u) << "hash router should spread 200 keys";
+  }
+
+  for (const std::string& k : keys) {
+    if (k.empty()) continue;
+    size_t home = pdb->PartitionOf(k);
+    for (size_t p = 0; p < kParts; ++p) {
+      std::string v;
+      Status s = pdb->partition(p)->Get(k, &v);
+      if (p == home) {
+        ASSERT_TRUE(s.ok()) << "key missing from its routed partition";
+        EXPECT_EQ("x" + k, v);
+      } else {
+        EXPECT_TRUE(s.IsNotFound())
+            << "key " << k << " leaked into partition " << p;
+      }
+    }
+  }
+}
+
+// Merged Scan == a single-tree shadow map: globally sorted, duplicate-free,
+// same key/value sequence, over point lookups, bounded ranges, unbounded
+// ranges, and early callback stop.
+TEST_P(PartitionedDbTest, ScanMergeMatchesShadowMap) {
+  const size_t kParts = GetParam();
+  MemEnv env;
+  PartitionedDBOptions opts = SmallOptions(kParts);
+  opts.scan_batch = 7;  // force multi-batch refills mid-merge
+  std::unique_ptr<PartitionedDatabase> pdb;
+  ASSERT_TRUE(PartitionedDatabase::Open(&env, opts, &pdb).ok());
+
+  std::map<std::string, std::string> shadow;
+  Random rng(1234);
+  for (int i = 0; i < 600; ++i) {
+    uint64_t k = rng.Uniform(4000);
+    std::string key = EncodeU64Key(k);
+    std::string value = Val(k) + "-" + std::to_string(i);
+    if (shadow.count(key)) {
+      ASSERT_TRUE(pdb->Update(key, value).ok());
+    } else {
+      ASSERT_TRUE(pdb->Put(key, value).ok());
+    }
+    shadow[key] = value;
+  }
+  // Deletions: the resume-key skip must not drop the successor of a deleted
+  // cursor key.
+  for (int i = 0; i < 150; ++i) {
+    uint64_t k = rng.Uniform(4000);
+    std::string key = EncodeU64Key(k);
+    Status s = pdb->Delete(key);
+    ASSERT_TRUE(s.ok() || s.IsNotFound());
+    shadow.erase(key);
+  }
+
+  auto check_range = [&](const Slice& lo, const Slice& hi) {
+    std::vector<std::pair<std::string, std::string>> got;
+    ASSERT_TRUE(pdb->Scan(lo, hi,
+                          [&](const Slice& k, const Slice& v) {
+                            got.emplace_back(k.ToString(), v.ToString());
+                            return true;
+                          })
+                    .ok());
+    std::vector<std::pair<std::string, std::string>> want;
+    for (const auto& [k, v] : shadow) {
+      if (!lo.empty() && Slice(k).compare(lo) < 0) continue;
+      if (!hi.empty() && Slice(k).compare(hi) > 0) continue;
+      want.emplace_back(k, v);
+    }
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(want[i].first, got[i].first);
+      EXPECT_EQ(want[i].second, got[i].second);
+    }
+    // Globally sorted and duplicate-free by construction of `want`, but
+    // assert on `got` directly for clarity.
+    for (size_t i = 1; i < got.size(); ++i) {
+      EXPECT_LT(got[i - 1].first, got[i].first);
+    }
+  };
+
+  check_range(Slice(), Slice());  // full scan
+  check_range(EncodeU64Key(500), EncodeU64Key(1500));
+  check_range(EncodeU64Key(0), EncodeU64Key(10));
+  check_range(EncodeU64Key(3990), Slice());       // tail
+  check_range(EncodeU64Key(9999999), Slice());    // empty result
+
+  // Early stop: exactly the first 10 records of the shadow map.
+  std::vector<std::string> first10;
+  ASSERT_TRUE(pdb->Scan(Slice(), Slice(),
+                        [&](const Slice& k, const Slice&) {
+                          first10.push_back(k.ToString());
+                          return first10.size() < 10;
+                        })
+                  .ok());
+  ASSERT_EQ(10u, first10.size());
+  auto it = shadow.begin();
+  for (size_t i = 0; i < 10; ++i, ++it) EXPECT_EQ(it->first, first10[i]);
+}
+
+// Range partitioning: same merge contract, boundaries honored.
+TEST(PartitionedDbRangeTest, RangeSchemeRoutesByBoundaryAndScansInOrder) {
+  MemEnv env;
+  PartitionedDBOptions opts = SmallOptions(4);
+  opts.scheme = PartitioningScheme::kRange;
+  opts.range_boundaries = {EncodeU64Key(1000), EncodeU64Key(2000),
+                           EncodeU64Key(3000)};
+  std::unique_ptr<PartitionedDatabase> pdb;
+  ASSERT_TRUE(PartitionedDatabase::Open(&env, opts, &pdb).ok());
+
+  EXPECT_EQ(0u, pdb->PartitionOf(EncodeU64Key(0)));
+  EXPECT_EQ(0u, pdb->PartitionOf(EncodeU64Key(999)));
+  EXPECT_EQ(1u, pdb->PartitionOf(EncodeU64Key(1000)));  // boundary inclusive
+  EXPECT_EQ(2u, pdb->PartitionOf(EncodeU64Key(2500)));
+  EXPECT_EQ(3u, pdb->PartitionOf(EncodeU64Key(3000)));
+  EXPECT_EQ(3u, pdb->PartitionOf(EncodeU64Key(999999)));
+
+  std::map<std::string, std::string> shadow;
+  for (uint64_t k = 0; k < 4000; k += 37) {
+    ASSERT_TRUE(pdb->Put(EncodeU64Key(k), Val(k)).ok());
+    shadow[EncodeU64Key(k)] = Val(k);
+  }
+  std::vector<std::string> got;
+  ASSERT_TRUE(pdb->Scan(EncodeU64Key(500), EncodeU64Key(3500),
+                        [&](const Slice& k, const Slice&) {
+                          got.push_back(k.ToString());
+                          return true;
+                        })
+                  .ok());
+  std::vector<std::string> want;
+  for (const auto& [k, v] : shadow) {
+    if (k >= EncodeU64Key(500) && k <= EncodeU64Key(3500)) want.push_back(k);
+  }
+  EXPECT_EQ(want, got);
+
+  // Misconfiguration is rejected, not mis-routed.
+  PartitionedDBOptions bad = SmallOptions(4);
+  bad.scheme = PartitioningScheme::kRange;
+  bad.range_boundaries = {EncodeU64Key(5)};  // needs 3
+  std::unique_ptr<PartitionedDatabase> none;
+  EXPECT_TRUE(PartitionedDatabase::Open(&env, bad, &none)
+                  .IsInvalidArgument());
+}
+
+// partitions=1: the serving layer in front of a single tree behaves exactly
+// like the plain Database on the same op script — statuses, values, and scan
+// sequences all identical.
+TEST(PartitionedDbTestSingle, PartitionsOneMatchesPlainDatabase) {
+  MemEnv plain_env, part_env;
+  DatabaseOptions plain_opts;
+  plain_opts.buffer_pool_pages = 256;
+  std::unique_ptr<Database> plain;
+  ASSERT_TRUE(Database::Open(&plain_env, plain_opts, &plain).ok());
+
+  std::unique_ptr<PartitionedDatabase> pdb;
+  ASSERT_TRUE(
+      PartitionedDatabase::Open(&part_env, SmallOptions(1), &pdb).ok());
+
+  Random rng(77);
+  for (int i = 0; i < 1200; ++i) {
+    uint64_t k = rng.Uniform(500);
+    std::string key = EncodeU64Key(k);
+    int dice = static_cast<int>(rng.Uniform(100));
+    if (dice < 40) {
+      Status a = plain->Put(key, Val(k));
+      Status b = pdb->Put(key, Val(k));
+      ASSERT_EQ(a.code(), b.code()) << "op " << i;
+    } else if (dice < 55) {
+      Status a = plain->Update(key, Val(k + 1));
+      Status b = pdb->Update(key, Val(k + 1));
+      ASSERT_EQ(a.code(), b.code()) << "op " << i;
+    } else if (dice < 70) {
+      Status a = plain->Delete(key);
+      Status b = pdb->Delete(key);
+      ASSERT_EQ(a.code(), b.code()) << "op " << i;
+    } else if (dice < 90) {
+      std::string va, vb;
+      Status a = plain->Get(key, &va);
+      Status b = pdb->Get(key, &vb);
+      ASSERT_EQ(a.code(), b.code()) << "op " << i;
+      if (a.ok()) {
+        ASSERT_EQ(va, vb);
+      }
+    } else {
+      std::vector<std::pair<std::string, std::string>> ra, rb;
+      std::string hi = EncodeU64Key(k + 40);
+      ASSERT_TRUE(plain->Scan(key, hi,
+                              [&](const Slice& sk, const Slice& sv) {
+                                ra.emplace_back(sk.ToString(), sv.ToString());
+                                return true;
+                              })
+                      .ok());
+      ASSERT_TRUE(pdb->Scan(key, hi,
+                            [&](const Slice& sk, const Slice& sv) {
+                              rb.emplace_back(sk.ToString(), sv.ToString());
+                              return true;
+                            })
+                      .ok());
+      ASSERT_EQ(ra, rb) << "op " << i;
+    }
+  }
+
+  // Both reorganize; equivalence must survive the three passes too.
+  ASSERT_TRUE(plain->Reorganize().ok());
+  ASSERT_TRUE(pdb->ReorganizePartition(0).ok());
+  std::vector<std::pair<std::string, std::string>> ra, rb;
+  plain->Scan(Slice(), Slice(), [&](const Slice& k, const Slice& v) {
+    ra.emplace_back(k.ToString(), v.ToString());
+    return true;
+  });
+  pdb->Scan(Slice(), Slice(), [&](const Slice& k, const Slice& v) {
+    rb.emplace_back(k.ToString(), v.ToString());
+    return true;
+  });
+  EXPECT_EQ(ra, rb);
+}
+
+// Acceptance pin at the serving-layer level: a saturated bounded queue plus
+// a per-op deadline surfaces TimedOut to the caller — no unbounded queueing,
+// no hang.
+TEST(PartitionedDbDeadlineTest, DeadlineReturnsTimedOutUnderSaturation) {
+  MemEnv env;
+  PartitionedDBOptions opts = SmallOptions(1);
+  opts.executor.workers = 1;
+  opts.executor.queue_capacity = 2;
+  std::unique_ptr<PartitionedDatabase> pdb;
+  ASSERT_TRUE(PartitionedDatabase::Open(&env, opts, &pdb).ok());
+  ASSERT_TRUE(pdb->Put(EncodeU64Key(1), "v").ok());
+
+  // Park the single worker, then fill its queue to the bound.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false, release = false;
+  pdb->executor()->Submit(0, [&]() {
+    std::unique_lock<std::mutex> lk(mu);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lk, [&]() { return release; });
+    return Status::OK();
+  }, [](Status) {});
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&]() { return entered; });
+  }
+  for (int i = 0; i < 2; ++i) {
+    pdb->executor()->Submit(0, []() { return Status::OK(); }, [](Status) {});
+  }
+
+  std::string v;
+  Status s = pdb->Get(EncodeU64Key(1), &v, /*deadline_ms=*/40);
+  EXPECT_TRUE(s.IsTimedOut()) << s.ToString();
+  EXPECT_GE(pdb->stats().executor.timed_out_queue_full, 1u);
+
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+    cv.notify_all();
+  }
+  // After the backlog drains the same op succeeds.
+  Status ok = pdb->Get(EncodeU64Key(1), &v, /*deadline_ms=*/5000);
+  EXPECT_TRUE(ok.ok()) << ok.ToString();
+  EXPECT_EQ("v", v);
+}
+
+TEST(PartitionedDbReorgTest, ReorganizeAllVisitsEveryPartitionUnderCap) {
+  MemEnv env;
+  PartitionedDBOptions opts = SmallOptions(4);
+  opts.max_concurrent_reorgs = 2;
+  std::unique_ptr<PartitionedDatabase> pdb;
+  ASSERT_TRUE(PartitionedDatabase::Open(&env, opts, &pdb).ok());
+
+  std::vector<std::pair<std::string, std::string>> records;
+  for (uint64_t i = 0; i < 8000; ++i) {
+    records.emplace_back(EncodeU64Key(i * 10), Val(i));
+  }
+  ASSERT_TRUE(pdb->BulkLoad(records, /*leaf_fill=*/0.5).ok());
+
+  ASSERT_TRUE(pdb->ReorganizeAll().ok());
+  PartitionedDBStats st = pdb->stats();
+  EXPECT_EQ(4u, st.reorgs_completed);
+  EXPECT_LE(st.max_concurrent_reorgs_seen, 2u);
+  for (size_t p = 0; p < 4; ++p) {
+    EXPECT_TRUE(pdb->partition(p)->tree()->CheckConsistency().ok());
+    EXPECT_GT(pdb->partition(p)->reorganizer()->stats().units, 0u)
+        << "partition " << p << " was skipped";
+  }
+
+  // Round-robin: a second sweep still visits everything.
+  ASSERT_TRUE(pdb->ReorganizeAll().ok());
+  EXPECT_EQ(8u, pdb->stats().reorgs_completed);
+}
+
+TEST(PartitionedDbReorgTest, RmwRoundTripsThroughRoutedPartition) {
+  MemEnv env;
+  std::unique_ptr<PartitionedDatabase> pdb;
+  ASSERT_TRUE(PartitionedDatabase::Open(&env, SmallOptions(4), &pdb).ok());
+  ASSERT_TRUE(pdb->Put(EncodeU64Key(5), "count:1").ok());
+  ASSERT_TRUE(pdb->ReadModifyWrite(EncodeU64Key(5),
+                                   [](const std::string& cur) {
+                                     return cur + "+1";
+                                   })
+                  .ok());
+  std::string v;
+  ASSERT_TRUE(pdb->Get(EncodeU64Key(5), &v).ok());
+  EXPECT_EQ("count:1+1", v);
+  EXPECT_TRUE(
+      pdb->ReadModifyWrite(EncodeU64Key(404), [](const std::string& c) {
+            return c;
+          }).IsNotFound());
+}
+
+}  // namespace
+}  // namespace soreorg
