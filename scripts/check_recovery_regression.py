@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Gate segmented-WAL redo throughput against the committed baseline.
+
+Usage: check_recovery_regression.py <fresh.json> <committed.json>
+
+Raw redo MB/s from a CI runner are not comparable to the machine that
+recorded the committed BENCH_recovery.json, so the gate compares the number
+that machine speed divides out of: p6/redo_vs_scan, the ratio of recovery
+redo throughput to a bare LogManager::ReadAll scan of the same log measured
+back-to-back in the same process. A real regression in the redo path (a
+serialized stage, per-record overhead, a lost batch) drags that ratio down
+wherever it runs. The run fails if the fresh ratio is below 75% of the
+committed one (the ratio itself jitters ~10-15% run to run on small --quick
+volumes, so the floor is looser than the read-path gate's), or if the fresh
+run redid zero records — a bench that recovers nothing gates nothing.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.75
+
+
+def metric(doc, name):
+    for m in doc["metrics"]:
+        if m["name"] == name:
+            return float(m["value"])
+    raise SystemExit(f"metric {name!r} missing from {doc.get('bench')}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        committed = json.load(f)
+
+    fresh_ratio = metric(fresh, "p6/redo_vs_scan")
+    committed_ratio = metric(committed, "p6/redo_vs_scan")
+    redone = metric(fresh, "p6/records_redone")
+    segments = metric(fresh, "p6/segments_scanned")
+
+    floor = committed_ratio * TOLERANCE
+    print(f"p6/redo_vs_scan: fresh={fresh_ratio:.3f} "
+          f"committed={committed_ratio:.3f} floor={floor:.3f} "
+          f"records_redone={redone:.0f} segments={segments:.0f}")
+
+    if redone <= 0:
+        raise SystemExit("FAIL: the crashed image left no redo work; the "
+                         "bench is not exercising recovery")
+    if segments < 2:
+        raise SystemExit("FAIL: redo covered fewer than 2 segments; the "
+                         "bench is not crossing segment boundaries")
+    if fresh_ratio < floor:
+        raise SystemExit(f"FAIL: redo/scan ratio {fresh_ratio:.3f} regressed "
+                         f"more than 25% below committed "
+                         f"{committed_ratio:.3f}")
+    print("recovery gate ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,7 @@
 #include "src/db/database.h"
 
+#include <cstdio>
+
 #include "src/btree/bulk_builder.h"
 
 namespace soreorg {
@@ -14,7 +16,10 @@ Status Database::Open(Env* env, DatabaseOptions options,
   Status s = db->disk_->Open();
   if (!s.ok()) return s;
 
-  db->log_ = std::make_unique<LogManager>(env, name + ".wal");
+  LogManagerOptions log_opts;
+  log_opts.segment_bytes = db->options_.wal_segment_bytes;
+  log_opts.recycle_max = db->options_.wal_recycle_segments;
+  db->log_ = std::make_unique<LogManager>(env, name + ".wal", log_opts);
   s = db->log_->Open();
   if (!s.ok()) return s;
   db->log_->set_buffer_limit(db->options_.log_buffer_bytes);
@@ -37,9 +42,22 @@ Status Database::Open(Env* env, DatabaseOptions options,
   db->recovery_ = std::make_unique<RecoveryManager>(
       db->disk_.get(), db->bp_.get(), db->log_.get(), db->master_.get(),
       db->side_file_.get());
+  db->recovery_->set_redo_threads(db->options_.redo_threads);
   s = db->recovery_->Recover(&db->recovery_result_);
   if (!s.ok()) return s;
   const RecoveryResult& rr = db->recovery_result_;
+  if (db->options_.verbose_recovery) {
+    std::fprintf(stderr,
+                 "[recovery] records=%llu redone=%llu segments=%llu "
+                 "recycled=%llu tail_torn=%d dropped=%llu threads=%d\n",
+                 static_cast<unsigned long long>(rr.records_scanned),
+                 static_cast<unsigned long long>(rr.records_redone),
+                 static_cast<unsigned long long>(rr.segments_scanned),
+                 static_cast<unsigned long long>(rr.segments_recycled),
+                 rr.tail_segment_torn ? 1 : 0,
+                 static_cast<unsigned long long>(rr.wal_bytes_dropped),
+                 rr.redo_threads_used);
+  }
 
   db->options_.tree.optimistic_reads = db->options_.optimistic_reads;
   db->tree_ = std::make_unique<BTree>(db->bp_.get(), db->log_.get(),
@@ -227,7 +245,28 @@ Status Database::Checkpoint() {
   rec.payload = image.Serialize();
   s = log_->AppendAndFlush(&rec);
   if (!s.ok()) return s;
-  return master_->Store(rec.lsn);
+  s = master_->Store(rec.lsn);
+  if (!s.ok()) return s;
+
+  if (options_.wal_truncate_on_checkpoint) {
+    // Safe truncation floor. Recovery starts at min(redo_lsn, checkpoint
+    // record), but two consumers reach further back:
+    //   * UndoLosers / runtime Abort walk prev_lsn chains down to each
+    //     active transaction's first record;
+    //   * forward recovery of an open reorganization unit replays the unit
+    //     from its BEGIN record.
+    // Any segment wholly below the min of all four is dead.
+    Lsn floor = image.redo_lsn < rec.lsn ? image.redo_lsn : rec.lsn;
+    const Lsn oldest_txn = txn_mgr_->OldestActiveFirstLsn();
+    if (oldest_txn != kInvalidLsn && oldest_txn < floor) floor = oldest_txn;
+    if (image.reorg.has_open_unit && image.reorg.begin_lsn != kInvalidLsn &&
+        image.reorg.begin_lsn < floor) {
+      floor = image.reorg.begin_lsn;
+    }
+    s = log_->TruncateBelow(floor);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
 }
 
 }  // namespace soreorg

@@ -10,12 +10,10 @@ void CrashInjector::ArmAfterOps(int n, std::string file_suffix,
       [this, file_suffix = std::move(file_suffix),
        op_filter = std::move(op_filter)](const std::string& name,
                                          const char* op, size_t) -> bool {
-        if (!file_suffix.empty() &&
-            (name.size() < file_suffix.size() ||
-             name.compare(name.size() - file_suffix.size(),
-                          file_suffix.size(), file_suffix) != 0)) {
-          return true;
-        }
+        // Segment-aware: ".wal" also matches "db.wal.000017" so the
+        // forward-recovery sweeps keep counting I/O points after the log
+        // went segmented.
+        if (!WalAwareSuffixMatch(name, file_suffix)) return true;
         if (!op_filter.empty() && op_filter != op) return true;
         observed_.fetch_add(1);
         int r = remaining_.load();

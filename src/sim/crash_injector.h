@@ -17,9 +17,10 @@ class CrashInjector {
  public:
   explicit CrashInjector(MemEnv* env) : env_(env) {}
 
-  /// Crash on the n-th (1-based) write/append/sync whose file name ends
-  /// with `file_suffix` ("" = any file). op_filter: "" = any op, else one of
-  /// "write", "append", "sync".
+  /// Crash on the n-th (1-based) write/append/sync/rename/dirsync whose
+  /// file name matches `file_suffix` ("" = any file; ".wal" also matches
+  /// numbered segment files, see WalAwareSuffixMatch). op_filter: "" = any
+  /// op, else one of "write", "append", "sync", "rename", "dirsync".
   void ArmAfterOps(int n, std::string file_suffix = "",
                    std::string op_filter = "");
 

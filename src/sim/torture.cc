@@ -53,6 +53,34 @@ void TortureHarness::ArmStepAside(Database* db) {
   };
 }
 
+Status TortureHarness::SweptWork(Database* db) {
+  if (options_.checkpoint_churn_txns > 0) {
+    // Each churn op is one transaction inserting and deleting the same
+    // non-model key: committed or rolled back, the key is absent, so the
+    // model holds at every crash point while the WAL still grows.
+    for (int k = 0; k < options_.checkpoint_churn_txns; ++k) {
+      Transaction* txn = db->Begin();
+      if (txn == nullptr) break;
+      const std::string key = "~churn" + std::to_string(k);
+      const std::string val(options_.churn_value_bytes, 'c');
+      Status s = db->tree()->Insert(txn, key, val);
+      if (s.ok()) s = db->tree()->Delete(txn, key);
+      if (s.ok()) {
+        s = db->Commit(txn);
+      } else {
+        db->Abort(txn);  // best effort; the env may already be down
+      }
+      if (!s.ok()) return s;
+    }
+    Status s = db->Checkpoint();
+    if (!s.ok()) return s;
+  }
+  Status s = db->Reorganize();
+  if (!s.ok()) return s;
+  if (options_.checkpoint_churn_txns > 0) s = db->Checkpoint();
+  return s;
+}
+
 Status TortureHarness::VerifyAgainstModel(Database* db, const char* where) {
   std::vector<std::pair<std::string, std::string>> got;
   Status s = db->Scan(Slice(), Slice(),
@@ -125,7 +153,7 @@ Status TortureHarness::Run(TortureStats* stats) {
     if (!s.ok()) return s;
     ArmStepAside(db.get());
     env.ObserveOnly(suffix, op);
-    s = db->Reorganize();
+    s = SweptWork(db.get());
     if (!s.ok()) return s;
     stats->points_total = static_cast<int>(env.ops_observed());
     env.Disarm();
@@ -160,7 +188,7 @@ Status TortureHarness::Run(TortureStats* stats) {
         break;
     }
 
-    db->Reorganize();  // fails once the fault fires; the status is the crash
+    SweptWork(db.get());  // fails once the fault fires; the status is the crash
     if (env.fault_fired()) ++stats->faults_fired;
     db.reset();   // destructor flushes fail while the env is down
     env.Crash();  // un-synced state is gone; torn prefixes survive

@@ -71,6 +71,15 @@ struct TortureOptions {
   // step-aside protocol opens; 0 leaves the switcher alone.
   int force_step_asides = 0;
 
+  // WAL-churn + checkpoint inside the swept window: run this many
+  // insert+delete single-transaction churn ops (model-neutral at every
+  // crash point), then Checkpoint() — and checkpoint again after the
+  // reorganization. With a small db.wal_segment_bytes this drives segment
+  // rotation (seal, create/recycle, dirsync) and checkpoint-driven
+  // truncation (rename, delete) I/O into the crash sweep. 0 = off.
+  int checkpoint_churn_txns = 0;
+  size_t churn_value_bytes = 120;
+
   DatabaseOptions db;
 };
 
@@ -94,6 +103,10 @@ class TortureHarness {
  private:
   Status BuildWorkload(FaultInjectionEnv* env,
                        std::unique_ptr<Database>* db);
+  /// The work performed inside the fault-armed window: optional WAL churn +
+  /// checkpoint (segment rotation/truncation I/O), then Reorganize(), then
+  /// a second checkpoint. Identical op sequence in dry run and sweep.
+  Status SweptWork(Database* db);
   /// Apply options_.force_step_asides to the live reorganizer, installing
   /// the mid-window model-key rewrite transaction. Needs model_ populated.
   void ArmStepAside(Database* db);

@@ -1,14 +1,35 @@
 #include "src/storage/env.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstring>
 
 namespace soreorg {
+
+bool WalAwareSuffixMatch(const std::string& name, const std::string& suffix) {
+  if (suffix.empty()) return true;
+  if (name.size() >= suffix.size() &&
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return true;
+  }
+  // "db.wal.000017" matches suffix ".wal": find suffix + "." and require the
+  // remainder to be all digits.
+  size_t pos = name.rfind(suffix + ".");
+  if (pos == std::string::npos) return false;
+  size_t digits = pos + suffix.size() + 1;
+  if (digits >= name.size()) return false;
+  for (size_t i = digits; i < name.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(name[i]))) return false;
+  }
+  return true;
+}
 
 // ---------------------------------------------------------------------------
 // MemEnv
@@ -124,6 +145,41 @@ Status MemEnv::DeleteFile(const std::string& name) {
   it->second->exists = false;
   it->second->durable.clear();
   it->second->volatile_image.clear();
+  return Status::OK();
+}
+
+Status MemEnv::ListFiles(const std::string& prefix,
+                         std::vector<std::string>* out) const {
+  std::lock_guard<std::mutex> g(mu_);
+  out->clear();
+  for (const auto& [name, state] : files_) {
+    if (state->exists && name.compare(0, prefix.size(), prefix) == 0) {
+      out->push_back(name);
+    }
+  }
+  return Status::OK();  // map iteration is already sorted
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  if (!BeforeWrite(to, "rename", 0)) {
+    return Status::Crashed("injected fault on rename to " + to);
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end() || !it->second->exists) {
+    return Status::NotFound(from);
+  }
+  // Atomic metadata move; durable immediately (see header). Open handles on
+  // `from` keep their FileState — like POSIX fds surviving a rename.
+  files_[to] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemEnv::SyncDir(const std::string& hint) {
+  if (!BeforeWrite(hint, "dirsync", 0)) {
+    return Status::Crashed("injected fault on dirsync of " + hint);
+  }
   return Status::OK();
 }
 
@@ -262,6 +318,43 @@ Status PosixEnv::DeleteFile(const std::string& name) {
     return Status::IOError(name + ": " + strerror(errno));
   }
   return Status::OK();
+}
+
+Status PosixEnv::ListFiles(const std::string& prefix,
+                           std::vector<std::string>* out) const {
+  out->clear();
+  size_t slash = prefix.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : prefix.substr(0, slash);
+  std::string stem =
+      slash == std::string::npos ? prefix : prefix.substr(slash + 1);
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Status::IOError(dir + ": " + strerror(errno));
+  while (struct dirent* e = ::readdir(d)) {
+    std::string base(e->d_name);
+    if (base.compare(0, stem.size(), stem) != 0) continue;
+    out->push_back(slash == std::string::npos ? base : dir + "/" + base);
+  }
+  ::closedir(d);
+  std::sort(out->begin(), out->end());
+  return Status::OK();
+}
+
+Status PosixEnv::RenameFile(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::IOError(from + " -> " + to + ": " + strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status PosixEnv::SyncDir(const std::string& hint) {
+  size_t slash = hint.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : hint.substr(0, slash);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IOError(dir + ": " + strerror(errno));
+  Status s;
+  if (::fsync(fd) != 0) s = Status::IOError(dir + ": " + strerror(errno));
+  ::close(fd);
+  return s;
 }
 
 }  // namespace soreorg

@@ -20,6 +20,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/util/slice.h"
 #include "src/util/status.h"
@@ -59,7 +60,29 @@ class Env {
                          std::unique_ptr<File>* file) = 0;
   virtual bool FileExists(const std::string& name) const = 0;
   virtual Status DeleteFile(const std::string& name) = 0;
+
+  /// Names of all existing files starting with `prefix`, sorted. The
+  /// segmented WAL uses this to discover surviving segments on Open.
+  virtual Status ListFiles(const std::string& prefix,
+                           std::vector<std::string>* out) const = 0;
+
+  /// Atomically rename `from` to `to`, replacing `to` if it exists. The
+  /// caller is responsible for the SyncDir that makes the rename durable.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+
+  /// Make directory-level metadata (creates, deletes, renames) durable for
+  /// the directory containing `hint` (a file path; the directory component
+  /// is fsynced). The segment rotation protocol calls this after every
+  /// create/recycle so a crash never observes a seq gap.
+  virtual Status SyncDir(const std::string& hint) = 0;
 };
+
+/// Suffix match that also recognizes numbered WAL segments: `name` matches
+/// `suffix` if it ends with `suffix` (legacy single-file logs, page files)
+/// or with `suffix` + "." + <digits> (segment files like "db.wal.000017").
+/// Recycle-pool files ("db.wal-recycle.0") deliberately do NOT match — they
+/// hold no live log. Empty suffix matches everything.
+bool WalAwareSuffixMatch(const std::string& name, const std::string& suffix);
 
 /// In-memory Env with crash simulation. Thread-safe.
 class MemEnv : public Env {
@@ -76,6 +99,15 @@ class MemEnv : public Env {
                  std::unique_ptr<File>* file) override;
   bool FileExists(const std::string& name) const override;
   Status DeleteFile(const std::string& name) override;
+  Status ListFiles(const std::string& prefix,
+                   std::vector<std::string>* out) const override;
+  /// Modeled as durable-immediately (the rotation protocol always SyncDirs
+  /// right after, and the crash-just-before case is covered by failing the
+  /// rename op itself via the observer). Routed through BeforeWrite with op
+  /// "rename" so the fault injector can crash mid-rotation.
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  /// Counted no-op (op "dirsync") — MemEnv metadata is always durable.
+  Status SyncDir(const std::string& hint) override;
 
   /// Simulate a system failure: discard all un-synced writes, clear the
   /// crashed flag. Open File handles remain usable and see durable state.
@@ -127,6 +159,10 @@ class PosixEnv : public Env {
                  std::unique_ptr<File>* file) override;
   bool FileExists(const std::string& name) const override;
   Status DeleteFile(const std::string& name) override;
+  Status ListFiles(const std::string& prefix,
+                   std::vector<std::string>* out) const override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& hint) override;
 };
 
 }  // namespace soreorg

@@ -69,13 +69,6 @@ class FaultFile : public File {
   std::unique_ptr<File> base_;
 };
 
-bool SuffixMatch(const std::string& name, const std::string& suffix) {
-  return suffix.empty() ||
-         (name.size() >= suffix.size() &&
-          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
-              0);
-}
-
 }  // namespace
 
 Status FaultInjectionEnv::NewFile(const std::string& name,
@@ -92,7 +85,33 @@ bool FaultInjectionEnv::FileExists(const std::string& name) const {
 }
 
 Status FaultInjectionEnv::DeleteFile(const std::string& name) {
+  WriteDecision d = OnWriteLikeOp(name, "delete", 0);
+  if (d.action != WriteDecision::kProceed) {
+    return Status::IOError("injected fault on delete of " + name);
+  }
   return base_->DeleteFile(name);
+}
+
+Status FaultInjectionEnv::ListFiles(const std::string& prefix,
+                                    std::vector<std::string>* out) const {
+  return base_->ListFiles(prefix, out);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  WriteDecision d = OnWriteLikeOp(to, "rename", 0);
+  if (d.action != WriteDecision::kProceed) {
+    return Status::IOError("injected fault on rename to " + to);
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& hint) {
+  WriteDecision d = OnWriteLikeOp(hint, "dirsync", 0);
+  if (d.action != WriteDecision::kProceed) {
+    return Status::IOError("injected fault on dirsync of " + hint);
+  }
+  return base_->SyncDir(hint);
 }
 
 void FaultInjectionEnv::Arm(FaultSpec spec) {
@@ -172,7 +191,7 @@ bool FaultInjectionEnv::down() const {
 
 bool FaultInjectionEnv::Matches(const std::string& name,
                                 const char* op) const {
-  if (!SuffixMatch(name, spec_.file_suffix)) return false;
+  if (!WalAwareSuffixMatch(name, spec_.file_suffix)) return false;
   if (spec_.op.empty()) return true;
   // "write" covers both positional writes and appends: each puts bytes on
   // the platter and can tear (the WAL only ever appends).
@@ -216,7 +235,7 @@ FaultInjectionEnv::WriteDecision FaultInjectionEnv::OnWriteLikeOp(
 size_t FaultInjectionEnv::OnRead(const std::string& name, size_t n) {
   std::lock_guard<std::mutex> g(mu_);
   if (spec_.kind != FaultKind::kShortRead ||
-      !SuffixMatch(name, spec_.file_suffix)) {
+      !WalAwareSuffixMatch(name, spec_.file_suffix)) {
     return SIZE_MAX;
   }
   ++observed_;

@@ -48,9 +48,10 @@ class FaultInjectionEnv : public Env {
 
   struct FaultSpec {
     FaultKind kind = FaultKind::kNone;
-    std::string file_suffix;  // "" matches every file
-    std::string op;           // "write" (covers append) | "append" | "sync";
-                              // "" = any of them
+    std::string file_suffix;  // "" matches every file; ".wal" also matches
+                              // numbered segments (see WalAwareSuffixMatch)
+    std::string op;           // "write" (covers append) | "append" | "sync" |
+                              // "rename" | "dirsync" | "delete"; "" = any
     int countdown = -1;       // fires on the countdown-th matching op; <0 never
     size_t keep_bytes = 0;    // torn-write prefix / short-read cap
     bool transient = false;   // fail one op vs. take the env down
@@ -63,7 +64,13 @@ class FaultInjectionEnv : public Env {
   Status NewFile(const std::string& name,
                  std::unique_ptr<File>* file) override;
   bool FileExists(const std::string& name) const override;
+  /// Deletes, renames, and directory syncs are write-like crash points too:
+  /// segment truncation/recycling must survive a crash at any of them.
   Status DeleteFile(const std::string& name) override;
+  Status ListFiles(const std::string& prefix,
+                   std::vector<std::string>* out) const override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status SyncDir(const std::string& hint) override;
 
   void Arm(FaultSpec spec);
   void FailOpAfter(int n, const std::string& suffix, const std::string& op,

@@ -32,12 +32,22 @@ class Transaction {
 
   /// LSN of this transaction's most recent log record (prev_lsn of the next).
   Lsn last_lsn() const { return last_lsn_; }
-  void set_last_lsn(Lsn lsn) { last_lsn_ = lsn; }
+  void set_last_lsn(Lsn lsn) {
+    if (first_lsn_ == kInvalidLsn) first_lsn_ = lsn;
+    last_lsn_ = lsn;
+  }
+
+  /// LSN of this transaction's first log record — the low end of its undo
+  /// chain. WAL truncation must never remove a segment at or above the
+  /// oldest active transaction's first_lsn, or a later abort could not walk
+  /// its prev_lsn chain.
+  Lsn first_lsn() const { return first_lsn_; }
 
  private:
   TxnId id_;
   TxnState state_ = TxnState::kActive;
   Lsn last_lsn_ = kInvalidLsn;
+  Lsn first_lsn_ = kInvalidLsn;
 };
 
 }  // namespace soreorg

@@ -123,6 +123,17 @@ std::vector<std::pair<TxnId, Lsn>> TransactionManager::ActiveSnapshot() const {
   return out;
 }
 
+Lsn TransactionManager::OldestActiveFirstLsn() const {
+  std::lock_guard<std::mutex> g(mu_);
+  Lsn oldest = kInvalidLsn;
+  for (const auto& [id, txn] : active_) {
+    Lsn first = txn->first_lsn();
+    if (first == kInvalidLsn) continue;
+    if (oldest == kInvalidLsn || first < oldest) oldest = first;
+  }
+  return oldest;
+}
+
 TxnId TransactionManager::next_txn_id() const {
   std::lock_guard<std::mutex> g(mu_);
   return next_txn_id_;

@@ -56,6 +56,11 @@ class TransactionManager {
   /// Snapshot of (txn id, last lsn) for all active transactions.
   std::vector<std::pair<TxnId, Lsn>> ActiveSnapshot() const;
 
+  /// Smallest first_lsn among active transactions that have logged anything
+  /// (kInvalidLsn when none have). This is the undo-chain floor for WAL
+  /// truncation.
+  Lsn OldestActiveFirstLsn() const;
+
   TxnId next_txn_id() const;
   void RestoreNextTxnId(TxnId next);
 

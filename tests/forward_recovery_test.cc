@@ -337,6 +337,14 @@ TEST_F(FaultRecoveryTest, TornWalTailSurfacesInRecoveryResult) {
   EXPECT_TRUE(db_->recovery_result().wal_tail_torn);
   EXPECT_GT(db_->recovery_result().wal_bytes_dropped, 0u);
   EXPECT_EQ(db_->recovery_result().page_checksum_failures, 0u);
+  // ...including the segment-level fields (ISSUE 10): the tear is in the
+  // tail segment, redo visited at least one segment, and the per-thread
+  // accounting matches the declared worker count.
+  EXPECT_TRUE(db_->recovery_result().tail_segment_torn);
+  EXPECT_GT(db_->recovery_result().segments_scanned, 0u);
+  EXPECT_GE(db_->recovery_result().redo_threads_used, 1);
+  EXPECT_EQ(db_->recovery_result().redo_records_per_thread.size(),
+            static_cast<size_t>(db_->recovery_result().redo_threads_used));
   // ...and the durable prefix is intact while the torn commit is gone.
   std::string v;
   EXPECT_TRUE(db_->Get(EncodeU64Key(1), &v).ok());
